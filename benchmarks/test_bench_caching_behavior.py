@@ -1,0 +1,36 @@
+"""Section 6.3 — caching behavior of ECS resolvers (twin-query experiment).
+
+Paper: of 203 studied resolvers, 76 are correct, 103 (over half) ignore the
+scope entirely, 15 accept/cache prefixes beyond /24, 8 clamp at /22, and 1
+emits a private prefix; the one studiable major-public resolver is correct.
+The shape: all five categories present, scope-ignoring the largest, and the
+public service classified correct.
+"""
+
+from repro.analysis import analyze_caching_behavior
+from repro.core.classify import CachingCategory
+
+
+def test_bench_caching_behavior(scan_universe, benchmark, save_report):
+    analysis = benchmark.pedantic(
+        lambda: analyze_caching_behavior(scan_universe),
+        rounds=1, iterations=1)
+    save_report("section6_3_caching_behavior", analysis.report())
+
+    counts = analysis.counts()
+    for category in (CachingCategory.CORRECT,
+                     CachingCategory.IGNORES_SCOPE,
+                     CachingCategory.ACCEPTS_OVER_24,
+                     CachingCategory.CLAMPS_AT_22,
+                     CachingCategory.PRIVATE_PREFIX):
+        assert counts.get(category, 0) >= 1, f"missing {category}"
+
+    # Scope-ignoring is the largest class, as in the paper (103 of 203).
+    assert analysis.scope_ignoring_majority()
+    # The big two dwarf the deviant tail, as in the paper.
+    assert counts[CachingCategory.IGNORES_SCOPE] \
+        > counts[CachingCategory.ACCEPTS_OVER_24] \
+        > counts[CachingCategory.CLAMPS_AT_22] \
+        >= counts[CachingCategory.PRIVATE_PREFIX]
+    # The major public resolver behaves correctly.
+    assert analysis.megadns_report.category is CachingCategory.CORRECT

@@ -1,0 +1,50 @@
+"""Section 4 — dataset summary statistics.
+
+Regenerates the four datasets and prints the paper-vs-measured summary
+counts (scaled by the generators' scale factors).
+"""
+
+from repro.analysis import (summarize_allnames, summarize_cdn,
+                            summarize_public_cdn, summarize_scan)
+from repro.datasets import AllNamesBuilder, CdnDatasetBuilder
+
+
+def test_bench_cdn_dataset_generation(benchmark, save_report):
+    dataset = benchmark.pedantic(
+        lambda: CdnDatasetBuilder(scale=0.01, seed=7,
+                                  duration_s=2 * 3600.0).build(),
+        rounds=1, iterations=1)
+    save_report("section4_cdn", summarize_cdn(dataset))
+    ecs_fraction = sum(r.has_ecs for r in dataset.records) / len(dataset.records)
+    # Paper: 847M of 1.5B queries carry ECS (≈56%); assert same regime.
+    assert 0.3 < ecs_fraction < 0.9
+
+
+def test_bench_allnames_generation(benchmark, save_report):
+    dataset = benchmark.pedantic(
+        lambda: AllNamesBuilder(scale=0.3, seed=7).build(),
+        rounds=1, iterations=1)
+    save_report("section4_allnames", summarize_allnames(dataset))
+    assert len(dataset.records) > 10_000
+    assert len({r.client_ip for r in dataset.records}) > 100
+
+
+def test_bench_scan_summary(scan_universe, scan_result, benchmark,
+                            save_report):
+    def summarize():
+        return summarize_scan(scan_result)
+
+    text = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    save_report("section4_scan", text)
+    # The ECS-ingress fraction lands in the paper's regime (1.53M / 2.74M).
+    ecs_fraction = len(scan_result.ecs_ingress) / \
+        len(scan_result.responding_ingress)
+    assert 0.35 < ecs_fraction < 0.95
+
+
+def test_bench_public_cdn_summary(public_cdn_dataset, benchmark,
+                                  save_report):
+    text = benchmark.pedantic(lambda: summarize_public_cdn(public_cdn_dataset),
+                              rounds=1, iterations=1)
+    save_report("section4_public_cdn", text)
+    assert all(r.scope > 0 for r in public_cdn_dataset.records[:1000])

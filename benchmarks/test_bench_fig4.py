@@ -1,0 +1,38 @@
+"""Figure 4 — forwarder↔hidden vs forwarder↔recursive distances (MP).
+
+Paper, for the major public (MP) resolver's 725K combinations: in 8% the
+hidden resolver is *farther* from the forwarder than the recursive resolver
+(ECS actively hurts mapping), 1.3% are equidistant, the rest closer.  The
+distances below the diagonal can reach thousands of kilometres.
+"""
+
+from repro.analysis import analyze_hidden_resolvers, format_table
+from repro.datasets import paper_numbers as paper
+
+
+def test_bench_fig4_mp_distances(scan_universe, scan_result, benchmark,
+                                 save_report):
+    analysis = benchmark.pedantic(
+        lambda: analyze_hidden_resolvers(scan_universe, scan_result),
+        rounds=1, iterations=1)
+
+    combos = analysis.split(via_megadns=True)
+    below, on, above = analysis.fractions(True)
+    rows = [("combinations", len(combos)),
+            ("hidden farther (below diagonal)", f"{below:.1%}"),
+            ("equidistant (on diagonal)", f"{on:.1%}"),
+            ("hidden closer (above diagonal)", f"{above:.1%}"),
+            ("max F-H distance (km)",
+             round(max(c.f_h_km for c in combos))),
+            ("paper below-diagonal", f"{paper.MP_HIDDEN_FARTHER_FRAC:.1%}")]
+    save_report("fig4_mp_distances",
+                format_table(("metric", "value"), rows,
+                             title="Figure 4 — MP resolver combinations"))
+
+    assert combos, "MP combinations observed"
+    assert 0.02 < below < 0.25, "a small below-diagonal population exists"
+    assert above > 0.5, "ECS usually helps"
+    # The pathological cases are dramatic: thousands of km, like the
+    # Santiago-forwarder/Italy-hidden example.
+    worst = max((c.f_h_km - c.f_r_km) for c in combos)
+    assert worst > 2000

@@ -1,0 +1,40 @@
+"""Figure 8 / section 8.4 — the CNAME-flattening pitfall.
+
+Paper: accessing customer.com via its flattened apex cost a 125 ms TCP
+handshake to a mis-mapped edge plus an HTTP redirect — ≈650 ms of penalty —
+while the www name (regular CNAME, ECS end to end) connected in 45 ms.
+The shape: apex handshake ≫ www handshake, a penalty in the hundreds of
+milliseconds, and the careful variant (backend ECS forwarding) erasing it.
+"""
+
+from repro.analysis import run_flattening_case_study
+from repro.analysis.flattening import FlatteningLab
+
+
+def test_bench_fig8_careless_flattening(benchmark, save_report):
+    lab = FlatteningLab.build(forward_ecs=False)
+    timings = benchmark.pedantic(lambda: run_flattening_case_study(lab),
+                                 rounds=1, iterations=1)
+    save_report("fig8_cname_flattening", timings.report())
+
+    # Mis-mapped edge far, correct edge near (paper: 125 ms vs 45 ms).
+    assert timings.apex_handshake_ms > 5 * timings.www_handshake_ms
+    # The total penalty is hundreds of milliseconds (paper: ≈650 ms).
+    assert timings.penalty_ms > 300
+    # The www path maps to the client's own city.
+    where = lab.topology.city_of(timings.www_edge_ip)
+    assert where and where.name == "Santiago"
+    # The apex path maps near the DNS provider instead.
+    apex_where = lab.topology.city_of(timings.apex_edge_ip)
+    assert apex_where and apex_where.name == "Frankfurt"
+
+
+def test_bench_fig8_careful_flattening_ablation(benchmark, save_report):
+    """Ablation: forwarding ECS on the backend resolution removes the
+    penalty — the paper's suggested (partial) mitigation."""
+    lab = FlatteningLab.build(forward_ecs=True)
+    timings = benchmark.pedantic(lambda: run_flattening_case_study(lab),
+                                 rounds=1, iterations=1)
+    save_report("fig8_careful_ablation",
+                timings.report("Figure 8 ablation — ECS-forwarding provider"))
+    assert timings.apex_handshake_ms <= 2 * timings.www_handshake_ms

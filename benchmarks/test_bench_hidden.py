@@ -1,0 +1,28 @@
+"""Section 8.2 — hidden resolver discovery and validation.
+
+Paper: ~32K hidden prefixes discovered via ECS (covering neither ingress
+nor egress), 29 707 of them (92%) validated against the Public
+Resolver/CDN logs.  The shape: ECS-based discovery finds the planted
+hidden resolvers and validation against ground truth covers most of them.
+"""
+
+from repro.analysis import analyze_hidden_resolvers
+
+
+def test_bench_hidden_discovery(scan_universe, scan_result, benchmark,
+                                save_report):
+    analysis = benchmark.pedantic(
+        lambda: analyze_hidden_resolvers(scan_universe, scan_result),
+        rounds=1, iterations=1)
+    save_report("section8_2_hidden", analysis.report())
+
+    assert len(analysis.discovered_prefixes) > 10
+    validated_fraction = (len(analysis.validated_prefixes)
+                          / len(analysis.discovered_prefixes))
+    assert validated_fraction > 0.8, "most discovered prefixes are real"
+    # Discovery recall: most planted hidden /24s behind ECS paths appear.
+    planted = {c.hidden_ips[0].rsplit(".", 1)[0] + ".0/24"
+               for c in scan_universe.chains if c.hidden_ips}
+    found = analysis.discovered_prefixes
+    recall = len(planted & found) / len(planted)
+    assert recall > 0.5

@@ -1,0 +1,37 @@
+"""Privacy and security extensions: probing-strategy leakage and the
+ECS-targeted poisoning blast radius (sections 2 and 6.1 discussions).
+"""
+
+from repro.analysis import (compare_blast_radius, poisoning_report,
+                            run_privacy_study)
+
+
+def test_bench_privacy_leakage(benchmark, save_report):
+    study = benchmark.pedantic(lambda: run_privacy_study(seed=42),
+                               rounds=1, iterations=1)
+    save_report("privacy_leakage", study.report())
+
+    by = study.by_strategy()
+    # The paper's critique: indiscriminate ECS wastes most of its leakage
+    # on servers that never use it.
+    assert by["always_ecs"].wasted_leak_fraction > 0.5
+    # The recommendation achieves discovery with zero client leakage.
+    assert by["recommended_own_address"].client_bits_to_plain_servers == 0
+    assert by["recommended_own_address"].ecs_to_ecs_servers > 0
+    # Whitelisting leaks only where it pays.
+    assert by["domain_whitelist"].wasted_leak_fraction == 0.0
+
+
+def test_bench_poisoning_blast_radius(benchmark, save_report):
+    outcomes = benchmark.pedantic(compare_blast_radius, rounds=1,
+                                  iterations=1)
+    save_report("poisoning_blast_radius", poisoning_report(outcomes))
+
+    honor, ignore = outcomes
+    # Compliant caches confine a targeted forgery to the victim prefix,
+    # invisible to off-prefix monitors (Kintis et al.'s stealth concern)...
+    assert honor.victim_fraction == 1.0
+    assert honor.collateral_fraction == 0.0
+    assert not honor.monitor_visible
+    # ...while scope-ignoring caches amplify it resolver-wide.
+    assert ignore.collateral_fraction == 1.0

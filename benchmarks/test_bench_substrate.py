@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the substrate's hot paths.
+
+These are genuine pytest-benchmark timings (many rounds), keeping the
+codec, cache and resolution-path costs visible as the library evolves.
+"""
+
+from repro.core.cache import ScopeTracker
+from repro.dnslib import (A, EcsOption, Message, Name, RecordType,
+                          ResourceRecord, decode_message, encode_message)
+from repro.measure import StubClient
+
+
+def _sample_response() -> bytes:
+    msg = Message.make_query(Name.from_text("www.example.com"), RecordType.A,
+                             msg_id=7,
+                             ecs=EcsOption.from_client_address("10.1.2.3"))
+    resp = msg.make_response()
+    qname = Name.from_text("www.example.com")
+    for i in range(4):
+        resp.answers.append(ResourceRecord(qname, RecordType.A, 300,
+                                           A(f"203.0.113.{i}")))
+    resp.set_ecs(msg.ecs().response_to(24))
+    return encode_message(resp)
+
+
+def test_bench_encode_message(benchmark):
+    msg = decode_message(_sample_response())
+    wire = benchmark(encode_message, msg)
+    assert len(wire) > 40
+
+
+def test_bench_decode_message(benchmark):
+    wire = _sample_response()
+    msg = benchmark(decode_message, wire)
+    assert len(msg.answers) == 4
+
+
+def test_bench_ecs_option_roundtrip(benchmark):
+    opt = EcsOption.from_client_address("198.51.77.9", 24)
+
+    def roundtrip():
+        return EcsOption.from_wire(opt.to_wire())
+
+    assert benchmark(roundtrip) == opt
+
+
+def test_bench_scope_tracker_access(benchmark):
+    tracker = ScopeTracker(use_ecs=True)
+    clients = [f"10.0.{i}.1" for i in range(64)]
+
+    counter = iter(range(10**9))
+
+    def access():
+        i = next(counter)
+        return tracker.access(i * 0.01, f"name{i % 50}.", 1,
+                              clients[i % 64], 24, 20)
+
+    benchmark(access)
+    assert tracker.hits + tracker.misses > 0
+
+
+def test_bench_full_recursive_resolution(benchmark, scan_universe):
+    """One uncached recursive resolution through root → TLD → auth, with
+    every hop crossing the wire codec."""
+    universe = scan_universe
+    client = StubClient(universe.scanner_ip, universe.net)
+    compliant = next(s.ip for s in universe.egress_specs
+                     if s.policy_name == "compliant")
+    counter = iter(range(10**9))
+
+    def resolve():
+        i = next(counter)
+        return client.query(compliant,
+                            f"bench-{i}.scan-exp.example.", RecordType.A)
+
+    result = benchmark(resolve)
+    assert result.addresses

@@ -1,0 +1,41 @@
+"""Table 1 — ECS source prefix lengths, from both vantage points.
+
+Paper's shape: /24 dominates the Scan column (Google), jammed-last-byte
+/32s dominate the CDN column (the Chinese dominant AS), with small
+populations at 18/22/25 and an IPv6 tail.
+"""
+
+from repro.analysis import build_table1
+
+
+def test_bench_table1(cdn_dataset, scan_result, benchmark, save_report):
+    table = benchmark.pedantic(
+        lambda: build_table1(cdn_dataset, scan_result),
+        rounds=1, iterations=1)
+    save_report("table1_prefix_lengths", table.report())
+
+    # CDN column: jammed /32 is the largest class (dominant AS).
+    cdn = table.cdn_counts
+    assert cdn["32/jammed last byte"] == max(cdn.values())
+    # /24 is the second pillar.
+    assert cdn.get("24", 0) > 0
+    # Scan column: /24 dominates (the Google-like service).
+    scan = table.scan_counts
+    assert scan.get("24", 0) == max(scan.values())
+    # Jammed /32s exist in the scan too (Chinese ISP egress).
+    assert scan.get("32/jammed last byte", 0) > 0
+    # RFC violations beyond /24 exist in the CDN column (the /25 senders).
+    over_24 = [k for k in cdn if k.startswith("25") or ",25" in k]
+    assert over_24
+
+
+def test_bench_table1_jammed_byte_values(cdn_dataset, benchmark,
+                                         save_report):
+    """The jammed byte is 0x01 or 0x00, as the paper observes."""
+    from repro.analysis import cdn_prefix_profiles
+    profiles = benchmark.pedantic(lambda: cdn_prefix_profiles(cdn_dataset),
+                                  rounds=1, iterations=1)
+    jammed = [p.jammed_last_byte for p in profiles.values()
+              if p.jammed_last_byte is not None]
+    assert jammed
+    assert set(jammed) <= {0x00, 0x01}

@@ -1,0 +1,50 @@
+"""Table 2 — authoritative responses to unroutable ECS prefixes.
+
+Paper: from a Cleveland lab machine, no-ECS and own-/24 queries map to a
+nearby edge (Chicago, 35 ms), while 127.0.0.1/32, 127.0.0.0/24 and
+169.254.252.0/24 map across the globe (Switzerland 155 ms, Mountain View
+47 ms, South Africa 285 ms), with disjoint answer sets.  The shape: same
+near/far split, same set relations, and the RFC fallback policy removing
+the penalty.
+"""
+
+import statistics
+
+from repro.analysis import run_table2
+from repro.analysis.unroutable import UnroutableLab
+from repro.auth import UnroutablePolicy
+
+UNROUTABLE = ("127.0.0.1/32", "127.0.0.0/24", "169.254.252.0/24")
+
+
+def test_bench_table2(benchmark, save_report):
+    lab = UnroutableLab.build()
+    table = benchmark.pedantic(lambda: run_table2(lab),
+                               rounds=1, iterations=1)
+    save_report("table2_unroutable", table.report())
+
+    near_rtt = table.row("none").rtt_ms
+    assert near_rtt < 40, "routable queries map nearby"
+    assert table.row("/24 of src addr").rtt_ms < 40
+    # Same 16-address set for both routable variants, as the paper saw.
+    assert table.routable_answers_identical
+    # Unroutable prefixes map elsewhere: disjoint sets, heavy penalty.
+    assert table.unroutable_answers_disjoint
+    unroutable_rtts = [table.row(p).rtt_ms for p in UNROUTABLE]
+    assert max(unroutable_rtts) > 3 * near_rtt
+    assert statistics.mean(unroutable_rtts) > 1.5 * near_rtt
+    locations = {table.row(p).location for p in UNROUTABLE}
+    assert table.row("none").location not in locations
+
+
+def test_bench_table2_rfc_fallback(benchmark, save_report):
+    """Ablation: the RFC's SHOULD (treat unroutable as the resolver's own
+    identity) removes the mis-mapping entirely."""
+    lab = UnroutableLab.build(unroutable_policy=UnroutablePolicy.USE_RESOLVER)
+    table = benchmark.pedantic(lambda: run_table2(lab),
+                               rounds=1, iterations=1)
+    save_report("table2_rfc_fallback", table.report())
+    near = table.row("none")
+    for prefix in UNROUTABLE:
+        assert table.row(prefix).location == near.location
+        assert table.row(prefix).rtt_ms < 40

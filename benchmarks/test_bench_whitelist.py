@@ -1,0 +1,27 @@
+"""Section 9 extension — whitelisted vs non-whitelisted resolvers.
+
+Reproduces the tradeoff the related work quantifies (Chen et al.: ECS
+improved public-resolver latencies ~50% at the cost of ~8× authoritative
+query volume) and the paper's section 7 cache cost, in one controlled
+experiment: identical twin resolvers, one whitelisted at the CDN.
+"""
+
+from repro.analysis import run_whitelist_comparison
+
+
+def test_bench_whitelist_comparison(benchmark, save_report):
+    comparison = benchmark.pedantic(
+        lambda: run_whitelist_comparison(seed=42, clients_per_city=5,
+                                         rounds=8),
+        rounds=1, iterations=1)
+    save_report("section9_whitelist_comparison", comparison.report())
+
+    # ECS improves mapping for far-away clients dramatically.
+    assert comparison.latency_improvement > 0.4
+    assert comparison.whitelisted.mean_connect_ms \
+        < comparison.plain.mean_connect_ms / 2
+    # ...at the cost of more authoritative queries and more cache.
+    assert comparison.query_amplification > 2.0
+    assert comparison.cache_amplification > 2.0
+    assert comparison.whitelisted.cache_hit_rate \
+        < comparison.plain.cache_hit_rate

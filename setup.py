@@ -1,0 +1,6 @@
+"""Setup shim for environments without the `wheel` package (offline PEP 660
+builds need bdist_wheel). `python setup.py develop` keeps `pip install -e .`
+equivalent functionality available offline."""
+from setuptools import setup
+
+setup()

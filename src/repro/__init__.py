@@ -1,0 +1,51 @@
+"""repro — a reproduction of "A Look at the ECS Behavior of DNS Resolvers".
+
+(Al-Dalky, Rabinovich, Schomp; ACM IMC 2019.)
+
+The library is organized bottom-up:
+
+* :mod:`repro.dnslib` — a from-scratch DNS substrate (names, records,
+  messages, full wire codec, EDNS0 and the RFC 7871 ECS option);
+* :mod:`repro.net` — the simulated Internet (virtual time, geography and an
+  EdgeScape-like geolocation DB, an RTT model, a datagram fabric that
+  round-trips every message through the wire codec);
+* :mod:`repro.core` — the ECS machinery the paper studies: scope-keyed
+  caching with every observed deviation, probing policies, and the
+  behavior classifiers;
+* :mod:`repro.resolvers` / :mod:`repro.auth` — recursive resolvers,
+  forwarders, hidden resolvers, an anycast public DNS service, CDN
+  authoritative servers with ECS whitelisting and proximity mapping, the
+  scan-experiment server, and a CNAME-flattening provider;
+* :mod:`repro.measure` — the measurement tooling (IPv4 scanner, dig-like
+  client, the section 6.3 caching prober, an Atlas-like probe platform);
+* :mod:`repro.datasets` — generators for the paper's four datasets at any
+  scale, with ground truth attached;
+* :mod:`repro.analysis` — one analysis per paper section, each emitting the
+  corresponding table or figure as data.
+
+Quickstart::
+
+    from repro import EcsOption, Message, Name, RecordType
+    query = Message.make_query(Name.from_text("www.example.com"),
+                               RecordType.A,
+                               ecs=EcsOption.from_client_address("192.0.2.7"))
+"""
+
+from . import analysis, auth, core, datasets, dnslib, measure, net, resolvers
+from .core import (EcsCache, EcsPolicy, ProbingStrategy, ScopeMode,
+                   classify_caching, classify_probing)
+from .dnslib import (EcsOption, Message, Name, Question, Rcode, RecordType,
+                     ResourceRecord, Zone, decode_message, encode_message)
+from .net import Network, SimClock, Topology
+from .resolvers import Forwarder, PublicDnsService, RecursiveResolver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EcsCache", "EcsOption", "EcsPolicy", "Forwarder", "Message", "Name",
+    "Network", "ProbingStrategy", "PublicDnsService", "Question", "Rcode",
+    "RecordType", "RecursiveResolver", "ResourceRecord", "ScopeMode",
+    "SimClock", "Topology", "Zone", "analysis", "auth", "classify_caching",
+    "classify_probing", "core", "datasets", "decode_message", "dnslib",
+    "encode_message", "measure", "net", "resolvers", "__version__",
+]

@@ -1,0 +1,173 @@
+"""Trace-driven cache simulations (section 7.1, Figures 1 and 2).
+
+The replay follows the paper's method exactly: resolvers adhere to the
+returned TTL, never evict early, and — in the ECS run — key entries by the
+authoritative scope, so several copies of one answer coexist when clients
+span multiple scope-sized subnets.  The *blow-up factor* for a resolver is
+the ratio of the peak cache size with ECS to the peak size without.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.cache import ScopeTracker
+from ..datasets.allnames import AllNamesDataset
+from ..datasets.public_cdn import PublicCdnDataset
+from ..datasets.records import AllNamesRecord, PublicCdnRecord
+
+
+@dataclass
+class ReplayResult:
+    """Peak sizes and hit counts of one with/without-ECS replay pair."""
+
+    max_size_ecs: int
+    max_size_no_ecs: int
+    hit_rate_ecs: float
+    hit_rate_no_ecs: float
+
+    @property
+    def blowup(self) -> float:
+        """Peak-cache ratio; 1.0 when ECS adds no state."""
+        if self.max_size_no_ecs == 0:
+            return 1.0
+        return self.max_size_ecs / self.max_size_no_ecs
+
+
+def replay(records: Iterable, client_of, scope_of, ttl_of) -> ReplayResult:
+    """Run the paired with/without-ECS replay over one record stream."""
+    ecs = ScopeTracker(use_ecs=True)
+    plain = ScopeTracker(use_ecs=False)
+    for r in records:
+        client = client_of(r)
+        scope = scope_of(r)
+        ttl = ttl_of(r)
+        ecs.access(r.ts, r.qname, r.qtype, client, scope, ttl)
+        plain.access(r.ts, r.qname, r.qtype, None, 0, ttl)
+    return ReplayResult(ecs.max_size, plain.max_size,
+                        ecs.hit_rate(), plain.hit_rate())
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — blow-up CDF across the public service's egress resolvers
+
+
+def public_cdn_blowups(dataset: PublicCdnDataset,
+                       ttl: Optional[int] = None) -> List[float]:
+    """Per-resolver blow-up factors, ready for a CDF.
+
+    ``ttl`` overrides the trace TTL (the paper replays the 20-second CDN
+    trace with 40- and 60-second TTLs to show the trend).
+    """
+    out: List[float] = []
+    for ip, records in dataset.by_resolver().items():
+        if not records:
+            continue
+        result = replay(records,
+                        client_of=lambda r: r.ecs_address,
+                        scope_of=lambda r: r.scope,
+                        ttl_of=(lambda r: ttl) if ttl else (lambda r: r.ttl))
+        out.append(result.blowup)
+    out.sort()
+    return out
+
+
+def fig1_series(dataset: PublicCdnDataset,
+                ttls: Sequence[int] = (20, 40, 60)) -> Dict[int, List[float]]:
+    """The Fig 1 CDF series: TTL → sorted blow-up factors."""
+    return {ttl: public_cdn_blowups(dataset, ttl) for ttl in ttls}
+
+
+def cdf_points(sorted_values: Sequence[float]) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs for a sorted sample."""
+    n = len(sorted_values)
+    return [(v, (i + 1) / n) for i, v in enumerate(sorted_values)]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (q in [0, 1])."""
+    if not sorted_values:
+        raise ValueError("empty sample")
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def overall_blowup(ecs_blowup: float, ecs_fraction: float) -> float:
+    """Project the *overall* cache blow-up from the ECS-only blow-up.
+
+    Section 9 notes the measured factors cover only the ECS-carrying slice
+    of the cache; if a fraction ``ecs_fraction`` of cached responses carry
+    ECS, the whole-cache factor is the convex combination with the non-ECS
+    slice (factor 1).  Lets operators extrapolate to future ECS deployment
+    levels.
+    """
+    if not 0.0 <= ecs_fraction <= 1.0:
+        raise ValueError("ecs_fraction must be within [0, 1]")
+    if ecs_blowup < 1.0:
+        raise ValueError("ECS blow-up cannot be below 1")
+    return ecs_fraction * ecs_blowup + (1.0 - ecs_fraction)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — blow-up vs client-population fraction (All-Names resolver)
+
+
+def _sampled_records(dataset: AllNamesDataset, fraction: float,
+                     seed: int) -> List[AllNamesRecord]:
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    clients = dataset.client_ips
+    if fraction >= 1.0:
+        chosen = set(clients)
+    else:
+        rng = random.Random(seed)
+        chosen = set(rng.sample(clients, max(1, int(len(clients) * fraction))))
+    return [r for r in dataset.records if r.client_ip in chosen]
+
+
+def allnames_replay(dataset: AllNamesDataset, fraction: float = 1.0,
+                    seed: int = 0) -> ReplayResult:
+    """Replay the All-Names trace for a random fraction of clients."""
+    records = _sampled_records(dataset, fraction, seed)
+    return replay(records,
+                  client_of=lambda r: r.client_ip,
+                  scope_of=lambda r: r.scope,
+                  ttl_of=lambda r: r.ttl)
+
+
+def fig2_series(dataset: AllNamesDataset,
+                fractions: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5,
+                                              0.6, 0.7, 0.8, 0.9, 1.0),
+                seeds: Sequence[int] = (1, 2, 3)) -> List[Tuple[float, float]]:
+    """(client fraction, mean blow-up) — the Fig 2 curve.
+
+    Each point averages ``len(seeds)`` random client samples, as the paper
+    averages three runs per fraction.
+    """
+    series: List[Tuple[float, float]] = []
+    for fraction in fractions:
+        values = [allnames_replay(dataset, fraction, seed).blowup
+                  for seed in seeds]
+        series.append((fraction, sum(values) / len(values)))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — hit rate vs client-population fraction
+
+
+def fig3_series(dataset: AllNamesDataset,
+                fractions: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5,
+                                              0.6, 0.7, 0.8, 0.9, 1.0),
+                seeds: Sequence[int] = (1, 2, 3)
+                ) -> List[Tuple[float, float, float]]:
+    """(fraction, hit rate without ECS, hit rate with ECS) triples."""
+    series: List[Tuple[float, float, float]] = []
+    for fraction in fractions:
+        results = [allnames_replay(dataset, fraction, seed) for seed in seeds]
+        no_ecs = sum(r.hit_rate_no_ecs for r in results) / len(results)
+        with_ecs = sum(r.hit_rate_ecs for r in results) / len(results)
+        series.append((fraction, no_ecs, with_ecs))
+    return series

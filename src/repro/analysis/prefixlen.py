@@ -1,0 +1,94 @@
+"""Section 6.2 analysis: ECS source prefix lengths (Table 1).
+
+Builds the Table 1 rows — one per observed combination of source prefix
+lengths, with "jammed last byte" detection — for both vantage points: the
+passive CDN dataset and the active Scan dataset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.classify import PrefixProfile, QueryObservation, prefix_length_profile
+from ..datasets import paper_numbers as paper
+from ..datasets.cdn_dataset import CdnDataset
+from ..measure.scanner import ScanResult
+from .report import format_table
+
+
+@dataclass
+class Table1:
+    """Per-row resolver counts for both datasets."""
+
+    scan_counts: Dict[str, int]
+    cdn_counts: Dict[str, int]
+
+    def rows(self) -> List[Tuple[str, Optional[int], Optional[int],
+                                 Optional[int], Optional[int]]]:
+        """(label, scan measured, scan paper, cdn measured, cdn paper)."""
+        labels = sorted(set(self.scan_counts) | set(self.cdn_counts)
+                        | set(paper.TABLE1_ROWS))
+        out = []
+        for label in labels:
+            paper_scan, paper_cdn = paper.TABLE1_ROWS.get(label, (None, None))
+            out.append((label,
+                        self.scan_counts.get(label),
+                        paper_scan,
+                        self.cdn_counts.get(label),
+                        paper_cdn))
+        return out
+
+    def report(self) -> str:
+        return format_table(
+            ("source prefix length", "scan (measured)", "scan (paper)",
+             "cdn (measured)", "cdn (paper)"),
+            self.rows(),
+            title="Table 1 — ECS source prefix lengths")
+
+
+def _profile_counts(profiles: Sequence[PrefixProfile]) -> Dict[str, int]:
+    counts: Counter = Counter()
+    for profile in profiles:
+        label = profile.table1_label()
+        if label != "none":
+            counts[label] += 1
+    return dict(counts)
+
+
+def cdn_prefix_profiles(dataset: CdnDataset) -> Dict[str, PrefixProfile]:
+    """Per-resolver prefix profiles from the CDN dataset."""
+    return {ip: prefix_length_profile(records)
+            for ip, records in dataset.by_resolver().items()}
+
+
+def scan_prefix_profiles(result: ScanResult) -> Dict[str, PrefixProfile]:
+    """Per-egress prefix profiles from the scan records.
+
+    Scan records lack a qtype; the classifier only needs the ECS fields, so
+    they are adapted into :class:`QueryObservation` shape here.
+    """
+    profiles: Dict[str, PrefixProfile] = {}
+    for egress_ip, records in result.records_by_egress().items():
+        observations = [QueryObservation(r.ts, r.qname, 1, r.has_ecs,
+                                         r.ecs_address, r.ecs_source_len)
+                        for r in records]
+        profile = prefix_length_profile(observations)
+        if profile.v4_lengths or profile.v6_lengths:
+            profiles[egress_ip] = profile
+    return profiles
+
+
+def build_table1(cdn_dataset: Optional[CdnDataset] = None,
+                 scan_result: Optional[ScanResult] = None) -> Table1:
+    """Assemble Table 1 from whichever vantage points are available."""
+    cdn_counts: Dict[str, int] = {}
+    scan_counts: Dict[str, int] = {}
+    if cdn_dataset is not None:
+        cdn_counts = _profile_counts(list(cdn_prefix_profiles(cdn_dataset)
+                                          .values()))
+    if scan_result is not None:
+        scan_counts = _profile_counts(list(scan_prefix_profiles(scan_result)
+                                           .values()))
+    return Table1(scan_counts, cdn_counts)

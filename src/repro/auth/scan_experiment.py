@@ -1,0 +1,106 @@
+"""The authors' experimental authoritative nameserver (Scan dataset).
+
+Implements the scan methodology of section 4: hostnames encode the IPv4
+address being probed (so the server can associate the *ingress* resolver a
+query was sent to with the *egress* resolver that finally contacted the
+authoritative server), every name under the experiment domain resolves, and
+ECS queries are answered with scope ``source − 4`` while non-ECS queries get
+no ECS option, per the RFC.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..dnslib import (A, Message, Name, Rcode, RecordType, ResourceRecord)
+from ..net.transport import Network
+from .server import DnsServer, source_minus
+
+_PROBE_LABEL = re.compile(r"^ip-(\d+)-(\d+)-(\d+)-(\d+)$")
+
+
+def encode_probe_name(probe_ip: str, domain: Name, nonce: str = "") -> Name:
+    """The qname used to probe ``probe_ip`` (section 4's technique from
+    Dagon et al.): ``ip-a-b-c-d[.nonce].<domain>``.
+
+    ``nonce`` makes trial names unique so cached answers from one trial
+    cannot contaminate another (section 6.3's methodology).
+    """
+    addr = ipaddress.IPv4Address(probe_ip)
+    label = "ip-" + "-".join(str(b) for b in addr.packed)
+    name = domain.child(nonce).child(label) if nonce else domain.child(label)
+    return name
+
+
+def decode_probe_name(qname: Name, domain: Name) -> Optional[str]:
+    """Recover the probed ingress IP from a scan qname, or ``None``."""
+    if not qname.is_subdomain_of(domain) or len(qname) <= len(domain):
+        return None
+    first = qname.labels[0].decode("ascii", "replace")
+    match = _PROBE_LABEL.match(first)
+    if not match:
+        return None
+    octets = [int(g) for g in match.groups()]
+    if any(o > 255 for o in octets):
+        return None
+    return ".".join(str(o) for o in octets)
+
+
+@dataclass
+class ScanObservation:
+    """One scan-relevant arrival: which ingress was probed, which egress
+    showed up, and what ECS (if any) it attached."""
+
+    ts: float
+    ingress_ip: Optional[str]
+    egress_ip: str
+    qname: str
+    has_ecs: bool
+    ecs_address: Optional[str]
+    ecs_source_len: Optional[int]
+
+
+class ScanExperimentServer(DnsServer):
+    """Authoritative for the experiment domain; answers everything."""
+
+    def __init__(self, ip: str, domain: Name, answer_address: str,
+                 ttl: int = 60, scope_delta: int = 4):
+        super().__init__(ip)
+        self.domain = domain
+        self.answer_address = answer_address
+        self.ttl = ttl
+        self.scope_policy = source_minus(scope_delta)
+        self.observations: List[ScanObservation] = []
+
+    def handle_query(self, query: Message, src_ip: str,
+                     net: Network) -> Optional[Message]:
+        response = query.make_response()
+        response.authoritative = True
+        if query.question is None:
+            response.rcode = Rcode.FORMERR
+            return response
+        qname = query.question.qname
+        if not qname.is_subdomain_of(self.domain):
+            response.rcode = Rcode.REFUSED
+            return response
+
+        ecs = query.ecs()
+        self.observations.append(ScanObservation(
+            ts=net.clock.now(),
+            ingress_ip=decode_probe_name(qname, self.domain),
+            egress_ip=src_ip,
+            qname=qname.to_text(),
+            has_ecs=ecs is not None,
+            ecs_address=str(ecs.address) if ecs else None,
+            ecs_source_len=ecs.source_prefix_length if ecs else None,
+        ))
+
+        if query.question.qtype == RecordType.A:
+            response.answers.append(ResourceRecord(
+                qname, RecordType.A, self.ttl, A(self.answer_address)))
+        if ecs is not None and response.edns is not None:
+            response.set_ecs(ecs.response_to(self.scope_policy(ecs)))
+        return response

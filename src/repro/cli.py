@@ -1,0 +1,270 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro.cli <command> [options]
+    repro-ecs <command> [options]            # after pip install
+
+Commands
+--------
+scan        run the active campaign: scan → discovery → Table 1 → hidden
+census      classify a CDN-vantage resolver population (sections 6.1/6.2)
+caching     run the section 6.3 twin-query caching experiment
+blowup      the section 7 cache replays (Figures 1–3)
+pitfalls    the section 8 labs (Table 2, Figures 6–8)
+generate    write a synthetic dataset to a JSONL trace file
+replay      run the section 7 cache replay over a saved JSONL trace
+all         every analysis command, sequentially
+
+Every command accepts ``--seed`` and a size knob and writes rendered
+reports to ``--out`` (default: print to stdout only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from .analysis import (analyze_caching_behavior, analyze_discovery,
+                       analyze_hidden_resolvers, analyze_probing,
+                       analyze_root_violations, build_table1, cdf_table,
+                       fig1_series, fig2_series, fig3_series, format_table,
+                       run_flattening_case_study, run_table2, summarize_scan)
+from .analysis.flattening import FlatteningLab
+from .analysis.mapping_quality import (MappingQualityLab,
+                                       crossover_prefix_length,
+                                       measure_mapping_quality)
+from .analysis.unroutable import UnroutableLab
+from .analysis.cache_sim import replay
+from .datasets import (AllNamesBuilder, CdnDatasetBuilder, PublicCdnBuilder,
+                       ScanUniverseBuilder, read_jsonl, write_jsonl)
+from .datasets.ditl import generate_root_trace
+from .datasets.records import AllNamesRecord, CdnQueryRecord, PublicCdnRecord
+from .measure import Scanner
+
+
+class _Reporter:
+    """Collects report sections, printing and optionally saving them."""
+
+    def __init__(self, out_dir: Optional[str]):
+        self.out_dir = Path(out_dir) if out_dir else None
+        if self.out_dir:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+
+    def emit(self, name: str, text: str) -> None:
+        print(text)
+        print()
+        if self.out_dir:
+            (self.out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def cmd_scan(args: argparse.Namespace, reporter: _Reporter) -> None:
+    """The active campaign: scan, discovery, Table 1, hidden resolvers."""
+    universe = ScanUniverseBuilder(seed=args.seed,
+                                   ingress_count=args.ingress).build()
+    result = Scanner(universe).scan()
+    reporter.emit("scan_summary", summarize_scan(result))
+    reporter.emit("discovery", analyze_discovery(universe, result).report())
+    reporter.emit("table1_scan",
+                  build_table1(scan_result=result).report())
+    reporter.emit("hidden",
+                  analyze_hidden_resolvers(universe, result).report())
+
+
+def cmd_census(args: argparse.Namespace, reporter: _Reporter) -> None:
+    """CDN-vantage classification: sections 6.1/6.2 plus the DITL check."""
+    dataset = CdnDatasetBuilder(scale=args.scale, seed=args.seed,
+                                duration_s=args.hours * 3600.0).build()
+    reporter.emit("probing", analyze_probing(dataset).report())
+    reporter.emit("table1_cdn", build_table1(cdn_dataset=dataset).report())
+    trace = generate_root_trace(resolver_count=400, violators=15,
+                                seed=args.seed)
+    reporter.emit("root_violations", analyze_root_violations(trace).report())
+
+
+def cmd_caching(args: argparse.Namespace, reporter: _Reporter) -> None:
+    """The section 6.3 twin-query caching-behavior experiment."""
+    universe = ScanUniverseBuilder(seed=args.seed,
+                                   ingress_count=args.ingress).build()
+    reporter.emit("caching_behavior",
+                  analyze_caching_behavior(universe).report())
+
+
+def cmd_blowup(args: argparse.Namespace, reporter: _Reporter) -> None:
+    """The section 7 cache replays: Figures 1, 2 and 3."""
+    public_cdn = PublicCdnBuilder(scale=args.scale, seed=args.seed,
+                                  duration_s=args.hours * 3600.0).build()
+    series = fig1_series(public_cdn, ttls=(20, 40, 60))
+    reporter.emit("fig1", cdf_table(
+        {f"TTL {t}s": v for t, v in series.items()},
+        title="Figure 1 — cache blow-up factor CDF"))
+
+    allnames = AllNamesBuilder(scale=args.allnames_scale,
+                               seed=args.seed).build()
+    fractions = (0.1, 0.25, 0.5, 0.75, 1.0)
+    f2 = fig2_series(allnames, fractions=fractions, seeds=(1, 2))
+    reporter.emit("fig2", format_table(
+        ("clients", "blow-up"),
+        [(f"{f:.0%}", round(b, 2)) for f, b in f2],
+        title="Figure 2 — blow-up vs client fraction"))
+    f3 = fig3_series(allnames, fractions=fractions, seeds=(1, 2))
+    reporter.emit("fig3", format_table(
+        ("clients", "no ECS", "with ECS"),
+        [(f"{f:.0%}", f"{a:.1%}", f"{b:.1%}") for f, a, b in f3],
+        title="Figure 3 — cache hit rate"))
+
+
+def cmd_pitfalls(args: argparse.Namespace, reporter: _Reporter) -> None:
+    """The section 8 labs: Table 2 and Figures 6-8."""
+    table2 = run_table2(UnroutableLab.build(seed=args.seed))
+    reporter.emit("table2", table2.report())
+
+    lab = MappingQualityLab.build(probe_count=args.probes, seed=args.seed)
+    for cdn, qname, fig in ((lab.cdn1, lab.cdn1_qname, "fig6"),
+                            (lab.cdn2, lab.cdn2_qname, "fig7")):
+        series = measure_mapping_quality(lab, cdn, qname)
+        cliff = crossover_prefix_length(series)
+        reporter.emit(fig, series.report(
+            f"{fig.upper()} — time-to-connect by prefix length "
+            f"(cliff at /{cliff})"))
+
+    timings = run_flattening_case_study(FlatteningLab.build())
+    reporter.emit("fig8", timings.report())
+
+
+def cmd_generate(args: argparse.Namespace, reporter: _Reporter) -> None:
+    """Write one synthetic dataset to a JSONL trace file."""
+    if args.dataset == "allnames":
+        dataset = AllNamesBuilder(scale=args.scale, seed=args.seed).build()
+        records = dataset.records
+    elif args.dataset == "public-cdn":
+        dataset = PublicCdnBuilder(scale=args.scale, seed=args.seed,
+                                   duration_s=args.hours * 3600.0).build()
+        records = dataset.records
+    else:  # cdn
+        dataset = CdnDatasetBuilder(scale=args.scale, seed=args.seed,
+                                    duration_s=args.hours * 3600.0).build()
+        records = dataset.records
+    count = write_jsonl(records, args.file)
+    print(f"wrote {count} {args.dataset} records to {args.file}")
+
+
+def cmd_replay(args: argparse.Namespace, reporter: _Reporter) -> None:
+    """Run the section 7 cache replay over a saved JSONL trace."""
+    if args.dataset == "allnames":
+        records = read_jsonl(args.file, AllNamesRecord)
+        result = replay(records,
+                        client_of=lambda r: r.client_ip,
+                        scope_of=lambda r: r.scope,
+                        ttl_of=lambda r: r.ttl)
+    else:  # public-cdn
+        records = read_jsonl(args.file, PublicCdnRecord)
+        result = replay(records,
+                        client_of=lambda r: r.ecs_address,
+                        scope_of=lambda r: r.scope,
+                        ttl_of=lambda r: r.ttl)
+    reporter.emit("replay", format_table(
+        ("metric", "value"),
+        [("records replayed", len(records)),
+         ("peak cache with ECS", result.max_size_ecs),
+         ("peak cache without ECS", result.max_size_no_ecs),
+         ("blow-up factor", round(result.blowup, 2)),
+         ("hit rate with ECS", f"{result.hit_rate_ecs:.1%}"),
+         ("hit rate without ECS", f"{result.hit_rate_no_ecs:.1%}")],
+        title=f"Replay of {args.file}"))
+
+
+#: Analysis commands, in the order ``all`` runs them.
+_ANALYSIS_COMMANDS: Dict[str, Callable[[argparse.Namespace, _Reporter],
+                                       None]] = {
+    "scan": cmd_scan,
+    "census": cmd_census,
+    "caching": cmd_caching,
+    "blowup": cmd_blowup,
+    "pitfalls": cmd_pitfalls,
+}
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace, _Reporter], None]] = {
+    **_ANALYSIS_COMMANDS,
+    "generate": cmd_generate,
+    "replay": cmd_replay,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ecs",
+        description="Reproduce 'A Look at the ECS Behavior of DNS "
+                    "Resolvers' (IMC 2019)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic seed for every generator")
+    parser.add_argument("--out", default=None,
+                        help="directory to write rendered reports into")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="active scan campaign (sections 4/5/8.2)")
+    scan.add_argument("--ingress", type=int, default=300,
+                      help="open ingress resolvers to simulate")
+
+    census = sub.add_parser("census",
+                            help="CDN-vantage classification (sections 6.1/6.2)")
+    census.add_argument("--scale", type=float, default=0.01,
+                        help="population scale vs the paper's 4147 resolvers")
+    census.add_argument("--hours", type=float, default=4.0,
+                        help="simulated log duration")
+
+    caching = sub.add_parser("caching",
+                             help="twin-query caching experiment (section 6.3)")
+    caching.add_argument("--ingress", type=int, default=100)
+
+    blowup = sub.add_parser("blowup", help="cache replays (section 7)")
+    blowup.add_argument("--scale", type=float, default=0.005,
+                        help="Public Resolver/CDN scale")
+    blowup.add_argument("--allnames-scale", type=float, default=0.3)
+    blowup.add_argument("--hours", type=float, default=0.5)
+
+    pitfalls = sub.add_parser("pitfalls", help="section 8 labs")
+    pitfalls.add_argument("--probes", type=int, default=120,
+                          help="Atlas-like probes for Figs 6/7")
+
+    generate = sub.add_parser("generate",
+                              help="write a synthetic dataset as JSONL")
+    generate.add_argument("dataset",
+                          choices=("allnames", "public-cdn", "cdn"))
+    generate.add_argument("file", help="output JSONL path")
+    generate.add_argument("--scale", type=float, default=0.05)
+    generate.add_argument("--hours", type=float, default=1.0)
+
+    replay_cmd = sub.add_parser("replay",
+                                help="cache replay over a saved trace")
+    replay_cmd.add_argument("dataset", choices=("allnames", "public-cdn"))
+    replay_cmd.add_argument("file", help="input JSONL path")
+
+    all_cmd = sub.add_parser("all", help="run every command")
+    all_cmd.add_argument("--ingress", type=int, default=200)
+    all_cmd.add_argument("--scale", type=float, default=0.005)
+    all_cmd.add_argument("--allnames-scale", type=float, default=0.2)
+    all_cmd.add_argument("--hours", type=float, default=0.5)
+    all_cmd.add_argument("--probes", type=int, default=100)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    reporter = _Reporter(args.out)
+    if args.command == "all":
+        for name, command in _ANALYSIS_COMMANDS.items():
+            print(f"### {name}\n")
+            command(args, reporter)
+        return 0
+    _COMMANDS[args.command](args, reporter)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Dataset generators and log-record schemas for the four vantage points."""
+
+from . import paper_numbers
+from .allnames import AllNamesBuilder, AllNamesDataset
+from .cdn_dataset import CdnDataset, CdnDatasetBuilder, ResolverSpec
+from .public_cdn import PublicCdnBuilder, PublicCdnDataset
+from .records import (AllNamesRecord, CdnQueryRecord, PublicCdnRecord,
+                      RootQueryRecord, ScanQueryRecord, iter_jsonl,
+                      read_jsonl, write_csv, write_jsonl)
+from .scan_dataset import (ChainSpec, EgressSpec, ScanUniverse,
+                           ScanUniverseBuilder)
+from .workload import (ClientPopulation, HostnameUniverse, SldPolicy,
+                       ZipfSampler, assign_sld_policies, poisson_arrivals)
+
+__all__ = [
+    "AllNamesBuilder", "AllNamesDataset", "AllNamesRecord", "CdnDataset",
+    "CdnDatasetBuilder", "CdnQueryRecord", "ChainSpec", "ClientPopulation",
+    "EgressSpec", "HostnameUniverse", "PublicCdnBuilder", "PublicCdnDataset",
+    "PublicCdnRecord", "ResolverSpec", "RootQueryRecord", "ScanQueryRecord",
+    "ScanUniverse", "ScanUniverseBuilder", "SldPolicy", "ZipfSampler",
+    "assign_sld_policies", "iter_jsonl", "paper_numbers", "poisson_arrivals",
+    "read_jsonl", "write_csv", "write_jsonl",
+]

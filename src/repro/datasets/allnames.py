@@ -1,0 +1,147 @@
+"""Generator for the All-Names Resolver dataset (section 4).
+
+The real dataset is 24 hours of all ECS-carrying traffic at one busy egress
+resolver of an anycast public DNS service: 11.1M A/AAAA queries from 76.2K
+clients (12.3K IPv4 /24s + 2.8K IPv6 /48s) for 134,925 hostnames across
+19,014 SLDs, each record carrying both the client IP and the authoritative
+ECS scope — the combination the section 7 simulations need.
+
+The generator's default parameters are *calibrated*: at ``scale=1.0`` the
+trace is roughly 1/20th of the paper's volume, and the section 7 replays of
+it land on the paper's reported shape — full-population blow-up near 4,
+hit rate ≈0.77 without ECS vs ≈0.30 with, and a Fig 2 curve rising from
+≈1.9 at 10% of clients without flattening at 100%.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .records import AllNamesRecord
+from .workload import SldPolicy, ZipfSampler
+
+#: Authoritative scope mixture (scope bits, weight): most ECS adopters
+#: tailor at /24, some coarser, a few echo the full source length.
+DEFAULT_SCOPE_MIX: Tuple[Tuple[int, float], ...] = (
+    (24, 0.55), (16, 0.20), (20, 0.10), (22, 0.05), (32, 0.10))
+
+
+@dataclass
+class _Clients:
+    """Client population grouped by address family."""
+
+    v4_clients: List[str]
+    v6_clients: List[str]
+
+    @property
+    def all_clients(self) -> List[str]:
+        return self.v4_clients + self.v6_clients
+
+
+@dataclass
+class AllNamesDataset:
+    """The generated trace plus the structures behind it."""
+
+    records: List[AllNamesRecord]
+    clients: _Clients
+    hostnames: List[str]
+    sld_policies: Dict[str, SldPolicy]
+    duration_s: float
+
+    @property
+    def client_ips(self) -> List[str]:
+        return self.clients.all_clients
+
+    @property
+    def v4_subnet_count(self) -> int:
+        return len({c.rsplit(".", 1)[0] for c in self.clients.v4_clients})
+
+
+def _sld_of(hostname: str) -> str:
+    """The two most senior labels (``h.x.site.com.`` → ``site.com.``)."""
+    parts = hostname.rstrip(".").split(".")
+    return ".".join(parts[-2:]) + "."
+
+
+class AllNamesBuilder:
+    """Builds an :class:`AllNamesDataset`; defaults are calibrated."""
+
+    def __init__(self, scale: float = 1.0, seed: int = 0,
+                 duration_s: float = 24 * 3600.0,
+                 hostname_count: int = 700,
+                 v4_subnet_count: int = 260,
+                 v6_subnet_count: int = 80,
+                 clients_per_subnet: float = 3.0,
+                 total_queries: int = 550_000,
+                 zipf_alpha: float = 1.08,
+                 client_alpha: float = 0.65,
+                 ttl_choices: Sequence[int] = (60, 120, 300, 600),
+                 scope_mix: Sequence[Tuple[int, float]] = DEFAULT_SCOPE_MIX):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.seed = seed
+        self.duration_s = duration_s
+        self.hostname_count = max(10, round(hostname_count * scale))
+        self.v4_subnet_count = max(4, round(v4_subnet_count * scale))
+        self.v6_subnet_count = max(1, round(v6_subnet_count * scale))
+        self.clients_per_subnet = clients_per_subnet
+        self.total_queries = max(100, round(total_queries * scale))
+        self.zipf_alpha = zipf_alpha
+        self.client_alpha = client_alpha
+        self.ttl_choices = tuple(ttl_choices)
+        self.scope_mix = tuple(scope_mix)
+
+    def _clients(self, rng: random.Random) -> _Clients:
+        v4: List[str] = []
+        for i in range(self.v4_subnet_count):
+            # Spread /24s across up to 48 /16s so scope-16 responses group
+            # a stable number of subnets at any scale.
+            prefix = f"100.{64 + (i % 48)}.{i // 48}"
+            count = max(1, min(254,
+                               int(rng.expovariate(1.0 / self.clients_per_subnet)) + 1))
+            for host in rng.sample(range(1, 255), count):
+                v4.append(f"{prefix}.{host}")
+        v6 = [f"2610:{i % 48:x}:{i // 48:x}::{j:x}"
+              for i in range(self.v6_subnet_count) for j in range(1, 3)]
+        return _Clients(v4, v6)
+
+    def _policies(self, slds: Sequence[str],
+                  rng: random.Random) -> Dict[str, SldPolicy]:
+        scopes = [s for s, _ in self.scope_mix]
+        weights = [w for _, w in self.scope_mix]
+        return {sld: SldPolicy(ttl=rng.choice(list(self.ttl_choices)),
+                               scope=rng.choices(scopes, weights=weights, k=1)[0])
+                for sld in slds}
+
+    def build(self) -> AllNamesDataset:
+        """Generate the trace (deterministic in the builder's seed)."""
+        rng = random.Random(self.seed)
+        sld_count = max(2, self.hostname_count // 7)
+        hostnames = [f"h{i}.s{i % sld_count:05d}.com."
+                     for i in range(self.hostname_count)]
+        policies = self._policies(sorted({_sld_of(h) for h in hostnames}), rng)
+        clients = self._clients(rng)
+        all_clients = clients.all_clients
+        name_sampler = ZipfSampler(len(hostnames), self.zipf_alpha)
+        client_sampler = ZipfSampler(len(all_clients), self.client_alpha)
+
+        records: List[AllNamesRecord] = []
+        t = 0.0
+        step = self.duration_s / self.total_queries
+        for _ in range(self.total_queries):
+            t += rng.expovariate(1.0) * step
+            hostname = hostnames[name_sampler.sample(rng)]
+            policy = policies[_sld_of(hostname)]
+            client = all_clients[client_sampler.sample(rng)]
+            if ":" in client:
+                qtype = 28
+                scope = 0 if policy.scope == 0 else 48
+            else:
+                qtype = 1
+                scope = policy.scope
+            records.append(AllNamesRecord(t, client, hostname, qtype,
+                                          scope, policy.ttl))
+        return AllNamesDataset(records, clients, hostnames, policies,
+                               self.duration_s)

@@ -1,0 +1,160 @@
+"""The paper's reported figures, as constants.
+
+Dataset generators scale their synthetic populations against these targets,
+and the benchmark harness prints paper-vs-measured tables from them.  Where
+the source text of Table 1 is ambiguous (the archived copy interleaves the
+two count columns), the reconstruction below keeps every number the prose
+states explicitly and distributes the remainder consistently; totals match
+the dataset sizes in section 4.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Section 4 — dataset summaries
+
+CDN_TOTAL_RESOLVERS = 3_741_983
+CDN_ECS_ENABLED_RESOLVERS = 7_737
+CDN_WHITELISTED = 3_590
+CDN_NON_WHITELISTED = 4_147
+CDN_NON_WHITELISTED_V4 = 4_002
+CDN_NON_WHITELISTED_V6 = 145
+CDN_ASES = 83
+CDN_DOMINANT_AS_RESOLVERS = 3_067
+CDN_QUERIES = 1_500_000_000
+CDN_ECS_QUERIES = 847_000_000
+
+SCAN_OPEN_INGRESS = 2_743_000
+SCAN_ECS_INGRESS = 1_530_000
+SCAN_INGRESS_ASES = 7_900
+SCAN_INGRESS_COUNTRIES = 195
+SCAN_EGRESS_IPS = 1_534
+SCAN_GOOGLE_EGRESS = 1_256
+SCAN_NON_GOOGLE_EGRESS = 278
+SCAN_NON_GOOGLE_ASES = 45
+SCAN_CHINESE_ASES = 19
+SCAN_RATE_QPS = 25_000
+
+PUBLIC_CDN_QUERIES = 3_800_000_000
+PUBLIC_CDN_RESOLVER_IPS = 2_370
+PUBLIC_CDN_HOURS = 3
+
+ALLNAMES_QUERIES = 11_100_000
+ALLNAMES_CLIENT_IPS = 76_200
+ALLNAMES_V4_CLIENTS = 37_400
+ALLNAMES_V6_CLIENTS = 38_800
+ALLNAMES_V4_SUBNETS = 12_300
+ALLNAMES_V6_SUBNETS = 2_800
+ALLNAMES_HOSTNAMES = 134_925
+ALLNAMES_SLDS = 19_014
+ALLNAMES_HOURS = 24
+
+# --------------------------------------------------------------------------
+# Section 5 — discovery
+
+DISCOVERY_SCAN_NON_GOOGLE = 278
+DISCOVERY_CDN_NON_WHITELISTED = 4_147
+DISCOVERY_OVERLAP = 234
+
+# --------------------------------------------------------------------------
+# Section 6.1 — probing strategies (CDN dataset, 4 147 resolvers)
+
+PROBING_ALWAYS = 3_382
+PROBING_ALWAYS_DOMINANT_AS = 3_067
+PROBING_HOSTNAME_PROBES = 258
+PROBING_INTERVAL_LOOPBACK = 32
+PROBING_ON_MISS = 88
+PROBING_MIXED = 387
+PROBING_ROOT_VIOLATORS = 15  # from the A-root DITL logs
+
+# --------------------------------------------------------------------------
+# Section 6.2 — Table 1: source prefix lengths.
+# Keys: a label per table row; values: (scan count, cdn count).
+# Reconstructed — see module docstring.
+
+TABLE1_ROWS = {
+    "18": (3, 60),
+    "22": (8, 19),
+    "24": (1384, 757),
+    "24,25,32/jammed last byte": (0, 1),
+    "24,32/jammed last byte": (0, 3),
+    "25": (1, 1),
+    "25,32/jammed last byte": (0, 78),
+    "32/jammed last byte": (130, 3002),
+    "32": (0, 221),
+    "32 (IPv6)": (2, 44),
+    "48 (IPv6)": (4, 56),
+    "56 (IPv6)": (2, 33),
+    "64 (IPv6)": (0, 1),
+    "64,96,128 (IPv6)": (0, 3),
+}
+
+JAMMED_BYTE_VALUES = (0x01, 0x00)
+
+# --------------------------------------------------------------------------
+# Section 6.3 — caching behavior (203 studied resolvers)
+
+CACHING_STUDIED = 203
+CACHING_ARBITRARY_ECS = 32
+CACHING_CORRECT = 76
+CACHING_IGNORES_SCOPE = 103
+CACHING_OVER_24 = 15
+CACHING_CLAMP_22 = 8
+CACHING_PRIVATE_PREFIX = 1
+
+# --------------------------------------------------------------------------
+# Section 7 — caching impact
+
+FIG1_MAX_BLOWUP = {20: 15.95, 40: 23.68, 60: 29.85}
+FIG1_MEDIAN_BLOWUP_TTL20 = 4.0
+FIG2_FULL_POPULATION_BLOWUP = 4.3
+FIG3_HIT_RATE_NO_ECS = 0.76
+FIG3_HIT_RATE_WITH_ECS = 0.30
+
+# --------------------------------------------------------------------------
+# Section 8.1 — Table 2 (RTT in ms from a Cleveland lab machine)
+
+TABLE2_ROWS = {
+    "none": ("Chicago", 35),
+    "/24 of src addr": ("Chicago", 35),
+    "127.0.0.1/32": ("Zurich", 155),
+    "127.0.0.0/24": ("Mountain View", 47),
+    "169.254.252.0/24": ("Johannesburg", 285),
+}
+UNROUTABLE_RESOLVERS = 33
+UNROUTABLE_ASES = 6
+
+# --------------------------------------------------------------------------
+# Section 8.2 — hidden resolvers
+
+HIDDEN_PREFIXES = 32_170
+HIDDEN_PREFIXES_MP = 31_011
+HIDDEN_VALIDATED_MP = 28_892
+HIDDEN_VALIDATED_OTHER = 815
+HIDDEN_VALIDATED_TOTAL = 29_707
+MP_COMBINATIONS = 725_000
+MP_HIDDEN_FARTHER_FRAC = 0.08
+MP_EQUIDISTANT_FRAC = 0.013
+NONMP_COMBINATIONS = 217_000
+NONMP_HIDDEN_FARTHER_FRAC = 0.078
+NONMP_EQUIDISTANT_FRAC = 0.195
+NONMP_HIDDEN_CLOSER_FRAC = 0.727
+
+# --------------------------------------------------------------------------
+# Section 8.3 — CDN prefix-length thresholds
+
+CDN1_MIN_PREFIX = 24
+CDN1_EDGES_AT_24 = 400
+CDN1_EDGES_BELOW_24 = (5, 14)
+CDN2_MIN_PREFIX = 21
+CDN2_EDGES_AT_21 = (41, 42)
+ATLAS_PROBES = 800
+ATLAS_COUNTRIES = 174
+ATLAS_ASES = 599
+
+# --------------------------------------------------------------------------
+# Section 8.4 — CNAME flattening case study
+
+FLATTENING_HANDSHAKE_MS = 125
+FLATTENING_TOTAL_PENALTY_MS = 650
+FLATTENING_DIRECT_HANDSHAKE_MS = 45

@@ -1,0 +1,90 @@
+"""Generator for the Public Resolver/CDN dataset (section 4).
+
+The real dataset: 3 busy hours of ECS queries from a major public DNS
+service (2 370 egress resolver IPs, heterogeneous per-IP volumes) to a major
+CDN's authoritative nameservers.  Every query carries ECS, every response a
+non-zero scope, and the CDN always returns a 20-second TTL — the exact
+inputs the Fig 1 cache-blow-up replay needs.
+
+Per-resolver heterogeneity is the load-bearing property: busy egress
+resolvers serve clients from many /24s concurrently (high blow-up), idle
+ones from few (blow-up near 1), producing Fig 1's wide CDF.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from . import paper_numbers as paper
+from .records import PublicCdnRecord
+from .workload import ZipfSampler, poisson_arrivals
+
+
+@dataclass
+class PublicCdnDataset:
+    """The generated trace, grouped by egress resolver on demand."""
+
+    records: List[PublicCdnRecord]
+    resolver_ips: List[str]
+    duration_s: float
+    ttl: int
+
+    def by_resolver(self) -> Dict[str, List[PublicCdnRecord]]:
+        out: Dict[str, List[PublicCdnRecord]] = {ip: [] for ip in self.resolver_ips}
+        for record in self.records:
+            out[record.resolver_ip].append(record)
+        return out
+
+
+class PublicCdnBuilder:
+    """Builds a :class:`PublicCdnDataset` at a configurable scale."""
+
+    def __init__(self, scale: float = 0.02, seed: int = 0,
+                 duration_s: float = 3 * 3600.0,
+                 hostname_count: int = 40,
+                 ttl: int = 20,
+                 zipf_alpha: float = 1.0,
+                 mean_qps: float = 4.0,
+                 volume_spread_decades: float = 0.9,
+                 subnet_multiplier: tuple = (60, 260)):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+        self.duration_s = duration_s
+        self.hostname_count = hostname_count
+        self.ttl = ttl
+        self.zipf_alpha = zipf_alpha
+        self.mean_qps = mean_qps
+        self.volume_spread_decades = volume_spread_decades
+        self.subnet_multiplier = subnet_multiplier
+
+    def build(self) -> PublicCdnDataset:
+        rng = random.Random(self.seed)
+        resolver_count = max(4, round(paper.PUBLIC_CDN_RESOLVER_IPS * self.scale))
+        hostnames = [f"a{i:04d}.cdn.example." for i in range(self.hostname_count)]
+        zipf = ZipfSampler(len(hostnames), self.zipf_alpha)
+
+        records: List[PublicCdnRecord] = []
+        resolver_ips: List[str] = []
+        for r in range(resolver_count):
+            ip = f"8.{(r >> 8) & 0xFF}.{r & 0xFF}.53"
+            resolver_ips.append(ip)
+            # Log-uniform volume: busy front-line resolvers vs near-idle ones.
+            spread = self.volume_spread_decades
+            qps = self.mean_qps * (10.0 ** rng.uniform(-spread, spread))
+            # Client diversity grows with volume (busier egress = more
+            # front-ends routing to it = more client subnets).
+            lo, hi = self.subnet_multiplier
+            subnet_count = max(1, int(qps / self.mean_qps * rng.uniform(lo, hi)))
+            subnets = [f"{rng.randrange(90, 120)}.{rng.randrange(256)}"
+                       f".{rng.randrange(256)}.0" for _ in range(subnet_count)]
+            for ts in poisson_arrivals(qps, self.duration_s, rng):
+                subnet = rng.choice(subnets)
+                hostname = hostnames[zipf.sample(rng)]
+                records.append(PublicCdnRecord(
+                    ts, ip, hostname, 1, subnet, 24, 24, self.ttl))
+        records.sort(key=lambda rec: rec.ts)
+        return PublicCdnDataset(records, resolver_ips, self.duration_s, self.ttl)

@@ -1,0 +1,144 @@
+"""Canonical log-record schemas for the four datasets, with JSONL/CSV IO.
+
+Every dataset in the paper is, at bottom, a log of DNS interactions seen
+from one vantage point.  These dataclasses pin down the fields each
+analysis needs; generators emit them, IO helpers persist them, and the
+analyses are pure functions over sequences of them — mirroring how the
+paper's pipelines consume the operators' logs.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Type, TypeVar, Union
+
+T = TypeVar("T")
+
+
+@dataclass
+class CdnQueryRecord:
+    """One query in the CDN dataset (authoritative vantage, section 4).
+
+    Field names match :class:`repro.core.classify.QueryObservation` so the
+    probing/prefix classifiers consume these records directly.
+    """
+
+    ts: float
+    resolver_ip: str
+    qname: str
+    qtype: int
+    has_ecs: bool
+    ecs_address: Optional[str] = None
+    ecs_source_len: Optional[int] = None
+    #: Scope the CDN returned (None: resolver not whitelisted → no ECS echo).
+    ecs_scope: Optional[int] = None
+    ttl: int = 20
+
+
+@dataclass
+class ScanQueryRecord:
+    """One arrival at the experimental nameserver (Scan dataset)."""
+
+    ts: float
+    ingress_ip: Optional[str]
+    egress_ip: str
+    qname: str
+    has_ecs: bool
+    ecs_address: Optional[str] = None
+    ecs_source_len: Optional[int] = None
+
+
+@dataclass
+class PublicCdnRecord:
+    """One ECS query from the public service to the CDN (section 4's
+    Public Resolver/CDN dataset: all queries carry ECS, all responses a
+    non-zero scope)."""
+
+    ts: float
+    resolver_ip: str
+    qname: str
+    qtype: int
+    ecs_address: str
+    ecs_source_len: int
+    scope: int
+    ttl: int = 20
+
+
+@dataclass
+class AllNamesRecord:
+    """One query/response pair at the busy anycast resolver (All-Names
+    Resolver dataset): both the client IP and the authoritative scope are
+    known — the dataset's unique feature."""
+
+    ts: float
+    client_ip: str
+    qname: str
+    qtype: int
+    scope: int
+    ttl: int
+
+
+@dataclass
+class RootQueryRecord:
+    """One query in a root-server (DITL-like) trace."""
+
+    ts: float
+    resolver_ip: str
+    qname: str
+    qtype: int
+    has_ecs: bool
+
+
+# ---------------------------------------------------------------------------
+# IO
+
+
+def write_jsonl(records: Iterable[object], path: Union[str, Path]) -> int:
+    """Write dataclass records as JSON lines; returns the count written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(dataclasses.asdict(record),
+                                separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Union[str, Path], record_type: Type[T]) -> List[T]:
+    """Load JSONL records back into dataclass instances."""
+    out: List[T] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(record_type(**json.loads(line)))
+    return out
+
+
+def iter_jsonl(path: Union[str, Path], record_type: Type[T]) -> Iterator[T]:
+    """Stream JSONL records without materializing the whole list."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield record_type(**json.loads(line))
+
+
+def write_csv(records: Sequence[object], path: Union[str, Path]) -> int:
+    """Write dataclass records as CSV with a header row."""
+    records = list(records)
+    if not records:
+        Path(path).write_text("")
+        return 0
+    fields = [f.name for f in dataclasses.fields(records[0])]
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(dataclasses.asdict(record))
+    return len(records)

@@ -1,0 +1,72 @@
+"""Protocol constants: record types, classes, response codes, opcodes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RecordType(enum.IntEnum):
+    """DNS RR TYPE values (RFC 1035 and successors)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    OPT = 41
+
+    @classmethod
+    def from_text(cls, text: str) -> "RecordType":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown record type {text!r}") from None
+
+
+class RecordClass(enum.IntEnum):
+    """DNS CLASS values. Only IN is used by the simulation."""
+
+    IN = 1
+    CH = 3
+    ANY = 255
+
+
+class Rcode(enum.IntEnum):
+    """Response codes (RFC 1035 section 4.1.1, RFC 6891 for BADVERS)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+    BADVERS = 16
+
+
+class Opcode(enum.IntEnum):
+    """Query opcodes."""
+
+    QUERY = 0
+    STATUS = 2
+
+
+class EdnsOptionCode(enum.IntEnum):
+    """EDNS0 option codes relevant to this study (RFC 6891 registry)."""
+
+    NSID = 3
+    ECS = 8
+    COOKIE = 10
+
+
+#: Address families used in the ECS option (RFC 7871 section 6).
+ECS_FAMILY_IPV4 = 1
+ECS_FAMILY_IPV6 = 2
+
+#: Default EDNS0 UDP payload size advertised by our resolvers.
+DEFAULT_EDNS_PAYLOAD = 4096
+
+#: Classic DNS maximum UDP payload without EDNS0.
+CLASSIC_UDP_PAYLOAD = 512

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the DNS substrate.
+
+Every error raised by :mod:`repro.dnslib` derives from :class:`DnsError` so
+callers can catch protocol-level problems with a single ``except`` clause
+while still distinguishing parse errors from semantic ones.
+"""
+
+from __future__ import annotations
+
+
+class DnsError(Exception):
+    """Base class for all DNS substrate errors."""
+
+
+class NameError_(DnsError):
+    """A domain name is syntactically invalid (label/name length, bad text)."""
+
+
+class WireFormatError(DnsError):
+    """A DNS message could not be decoded from wire format."""
+
+
+class TruncatedMessageError(WireFormatError):
+    """The wire buffer ended before the structure it encodes was complete."""
+
+
+class BadPointerError(WireFormatError):
+    """A compression pointer is out of range or forms a loop."""
+
+
+class BadOptionError(DnsError):
+    """An EDNS0 option is malformed (e.g. an invalid ECS payload)."""
+
+
+class BadEcsError(BadOptionError):
+    """An ECS option violates RFC 7871 (family, prefix lengths, padding)."""
+
+
+class ZoneError(DnsError):
+    """A zone is malformed or a record cannot be added to it."""
+
+
+class ResolutionError(DnsError):
+    """A resolution attempt failed (no nameserver, loop, budget exhausted)."""

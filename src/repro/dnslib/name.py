@@ -1,0 +1,175 @@
+"""Domain names.
+
+A :class:`Name` is an immutable, hashable sequence of labels, always stored
+fully qualified (the empty root label is implicit and never stored).  Names
+compare and hash case-insensitively, as required by RFC 1035 section 2.3.3,
+while preserving the original spelling for display.
+
+The wire encoding (including compression pointers) lives in
+:mod:`repro.dnslib.wire`; this module only handles the text form and the
+label algebra (parent/child/subdomain tests) the resolvers need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from .errors import NameError_
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+
+
+def _validate_label(label: bytes) -> bytes:
+    if not label:
+        raise NameError_("empty label")
+    if len(label) > MAX_LABEL_LENGTH:
+        raise NameError_(f"label exceeds {MAX_LABEL_LENGTH} octets: {label!r}")
+    return label
+
+
+class Name:
+    """A fully-qualified domain name.
+
+    >>> Name.from_text("WWW.Example.COM") == Name.from_text("www.example.com.")
+    True
+    >>> Name.from_text("a.b.example.com").is_subdomain_of(Name.from_text("example.com"))
+    True
+    """
+
+    __slots__ = ("_labels", "_folded", "_hash")
+
+    def __init__(self, labels: Iterable[bytes]):
+        labels = tuple(_validate_label(bytes(lab)) for lab in labels)
+        wire_len = sum(len(lab) + 1 for lab in labels) + 1
+        if wire_len > MAX_NAME_LENGTH:
+            raise NameError_(f"name exceeds {MAX_NAME_LENGTH} octets")
+        self._labels = labels
+        self._folded = tuple(lab.lower() for lab in labels)
+        self._hash = hash(self._folded)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str) -> "Name":
+        """Parse a name from presentation format.
+
+        A trailing dot is accepted and ignored; ``"."`` and ``""`` both give
+        the root name.
+        """
+        if text in ("", "."):
+            return ROOT
+        if text.endswith("."):
+            text = text[:-1]
+        if not text:
+            return ROOT
+        try:
+            labels = [lab.encode("ascii") for lab in text.split(".")]
+        except UnicodeEncodeError as exc:
+            raise NameError_(f"non-ASCII name: {text!r}") from exc
+        return cls(labels)
+
+    @classmethod
+    def root(cls) -> "Name":
+        """The root name ``.`` (zero labels)."""
+        return ROOT
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def labels(self) -> Tuple[bytes, ...]:
+        """The labels, most-specific first, without the root label."""
+        return self._labels
+
+    def to_text(self) -> str:
+        """Presentation format; the root renders as ``"."``."""
+        if not self._labels:
+            return "."
+        return ".".join(lab.decode("ascii") for lab in self._labels) + "."
+
+    def is_root(self) -> bool:
+        """True for the zero-label root name."""
+        return not self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self._labels)
+
+    # -- algebra -----------------------------------------------------------
+
+    def parent(self) -> "Name":
+        """The name with the most-specific label removed.
+
+        Raises :class:`NameError_` for the root, which has no parent.
+        """
+        if not self._labels:
+            raise NameError_("the root name has no parent")
+        return Name(self._labels[1:])
+
+    def child(self, label: str) -> "Name":
+        """Prepend ``label`` to this name."""
+        return Name((label.encode("ascii"),) + self._labels)
+
+    def concatenate(self, suffix: "Name") -> "Name":
+        """Append ``suffix``'s labels after this name's labels."""
+        return Name(self._labels + suffix._labels)
+
+    def relativize(self, origin: "Name") -> Tuple[bytes, ...]:
+        """Labels of this name with ``origin``'s labels stripped from the end.
+
+        Raises :class:`NameError_` if this name is not a subdomain of
+        ``origin``.
+        """
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self} is not under {origin}")
+        n = len(origin._labels)
+        return self._labels[: len(self._labels) - n] if n else self._labels
+
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True if this name equals ``other`` or lies beneath it."""
+        n = len(other._folded)
+        if n == 0:
+            return True
+        if n > len(self._folded):
+            return False
+        return self._folded[-n:] == other._folded
+
+    def ancestors(self) -> Iterator["Name"]:
+        """Yield this name, then each parent, ending with the root."""
+        name = self
+        while True:
+            yield name
+            if name.is_root():
+                return
+            name = name.parent()
+
+    def split(self, depth: int) -> Tuple["Name", "Name"]:
+        """Split into (prefix, suffix) where the suffix keeps ``depth`` labels."""
+        if depth < 0 or depth > len(self._labels):
+            raise NameError_(f"cannot keep {depth} labels of {self}")
+        cut = len(self._labels) - depth
+        return Name(self._labels[:cut]), Name(self._labels[cut:])
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._folded == other._folded
+
+    def __lt__(self, other: "Name") -> bool:
+        return self._folded[::-1] < other._folded[::-1]
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        return f"Name({self.to_text()!r})"
+
+
+ROOT = Name(())

@@ -1,0 +1,255 @@
+"""DNS wire-format codec (RFC 1035 section 4, RFC 6891 for OPT).
+
+``encode_message`` / ``decode_message`` round-trip :class:`~repro.dnslib.message.Message`
+objects through real DNS packets, including name compression on output and
+compression-pointer chasing (with loop protection) on input.  The simulated
+transport serializes every exchanged message through this codec, so the whole
+simulation exercises the same byte-level paths a real deployment would.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from .constants import Opcode, Rcode, RecordClass, RecordType
+from .edns import EdnsInfo, decode_options, encode_options
+from .errors import BadPointerError, TruncatedMessageError, WireFormatError
+from .message import Message, Question, ResourceRecord
+from .name import MAX_LABEL_LENGTH, Name
+from .rdata import GenericRdata, rdata_class_for
+
+_FLAG_QR = 0x8000
+_FLAG_AA = 0x0400
+_FLAG_TC = 0x0200
+_FLAG_RD = 0x0100
+_FLAG_RA = 0x0080
+_POINTER_MASK = 0xC0
+_MAX_POINTER_HOPS = 64
+
+
+# ---------------------------------------------------------------------------
+# names
+
+
+def encode_name(name: Name, buf: bytearray,
+                compress: Dict[Tuple[bytes, ...], int]) -> None:
+    """Append ``name`` to ``buf`` using compression pointers when possible."""
+    labels = tuple(lab.lower() for lab in name.labels)
+    for i in range(len(labels)):
+        suffix = labels[i:]
+        target = compress.get(suffix)
+        if target is not None and target < 0x4000:
+            buf += struct.pack("!H", 0xC000 | target)
+            return
+        if len(buf) < 0x4000:
+            compress[suffix] = len(buf)
+        label = name.labels[i]
+        buf.append(len(label))
+        buf += label
+    buf.append(0)
+
+
+def decode_name(wire: bytes, offset: int) -> Tuple[Name, int]:
+    """Decode a (possibly compressed) name starting at ``offset``.
+
+    Returns the name and the offset just past its in-place encoding.
+    """
+    labels: List[bytes] = []
+    end: int = -1
+    hops = 0
+    seen = set()
+    while True:
+        if offset >= len(wire):
+            raise TruncatedMessageError("name runs past end of message")
+        length = wire[offset]
+        if length & _POINTER_MASK == _POINTER_MASK:
+            if offset + 2 > len(wire):
+                raise TruncatedMessageError("compression pointer truncated")
+            if end < 0:
+                end = offset + 2
+            (ptr,) = struct.unpack_from("!H", wire, offset)
+            ptr &= 0x3FFF
+            if ptr in seen:
+                raise BadPointerError("compression pointer loop")
+            seen.add(ptr)
+            hops += 1
+            if hops > _MAX_POINTER_HOPS:
+                raise BadPointerError("too many compression pointer hops")
+            offset = ptr
+            continue
+        if length & _POINTER_MASK:
+            raise WireFormatError(f"reserved label type 0x{length:02x}")
+        if length > MAX_LABEL_LENGTH:
+            raise WireFormatError(f"label length {length} exceeds 63")
+        offset += 1
+        if length == 0:
+            break
+        if offset + length > len(wire):
+            raise TruncatedMessageError("label runs past end of message")
+        labels.append(bytes(wire[offset:offset + length]))
+        offset += length
+    if end < 0:
+        end = offset
+    return Name(labels), end
+
+
+# ---------------------------------------------------------------------------
+# records
+
+
+def _encode_rr(rr: ResourceRecord, buf: bytearray,
+               compress: Dict[Tuple[bytes, ...], int]) -> None:
+    encode_name(rr.name, buf, compress)
+    rdata = rr.rdata.to_wire()
+    buf += struct.pack("!HHIH", int(rr.rdtype), int(rr.rdclass),
+                       rr.ttl & 0xFFFFFFFF, len(rdata))
+    buf += rdata
+
+
+def _decode_rr(wire: bytes, offset: int) -> Tuple[ResourceRecord, int]:
+    name, offset = decode_name(wire, offset)
+    if offset + 10 > len(wire):
+        raise TruncatedMessageError("record header truncated")
+    rdtype, rdclass, ttl, rdlength = struct.unpack_from("!HHIH", wire, offset)
+    offset += 10
+    if offset + rdlength > len(wire):
+        raise TruncatedMessageError("rdata truncated")
+    klass = rdata_class_for(rdtype)
+    rdata = klass.from_wire(wire, offset, rdlength, decode_name)
+    if isinstance(rdata, GenericRdata):
+        rdata = GenericRdata(rdtype, rdata.data)
+    offset += rdlength
+    try:
+        rdtype_enum = RecordType(rdtype)
+    except ValueError:
+        rdtype_enum = rdtype  # type: ignore[assignment]
+    try:
+        rdclass_enum = RecordClass(rdclass)
+    except ValueError:
+        rdclass_enum = rdclass  # type: ignore[assignment]
+    return ResourceRecord(name, rdtype_enum, ttl, rdata, rdclass_enum), offset
+
+
+# ---------------------------------------------------------------------------
+# messages
+
+
+def encode_message(msg: Message) -> bytes:
+    """Serialize ``msg`` to wire format, materializing EDNS as an OPT RR."""
+    flags = 0
+    if msg.is_response:
+        flags |= _FLAG_QR
+    flags |= (int(msg.opcode) & 0xF) << 11
+    if msg.authoritative:
+        flags |= _FLAG_AA
+    if msg.truncated:
+        flags |= _FLAG_TC
+    if msg.recursion_desired:
+        flags |= _FLAG_RD
+    if msg.recursion_available:
+        flags |= _FLAG_RA
+    flags |= int(msg.rcode) & 0xF
+
+    arcount = len(msg.additional) + (1 if msg.edns is not None else 0)
+    buf = bytearray()
+    buf += struct.pack("!HHHHHH", msg.msg_id & 0xFFFF, flags,
+                       1 if msg.question else 0,
+                       len(msg.answers), len(msg.authority), arcount)
+    compress: Dict[Tuple[bytes, ...], int] = {}
+    if msg.question is not None:
+        encode_name(msg.question.qname, buf, compress)
+        buf += struct.pack("!HH", int(msg.question.qtype), int(msg.question.qclass))
+    for rr in msg.answers:
+        _encode_rr(rr, buf, compress)
+    for rr in msg.authority:
+        _encode_rr(rr, buf, compress)
+    for rr in msg.additional:
+        _encode_rr(rr, buf, compress)
+    if msg.edns is not None:
+        edns = msg.edns
+        buf.append(0)  # root owner name
+        ext_rcode = (int(msg.rcode) >> 4) & 0xFF
+        opt_ttl = (ext_rcode << 24) | ((edns.version & 0xFF) << 16) \
+            | (0x8000 if edns.dnssec_ok else 0)
+        rdata = encode_options(edns.options)
+        buf += struct.pack("!HHIH", int(RecordType.OPT),
+                           edns.payload_size & 0xFFFF, opt_ttl, len(rdata))
+        buf += rdata
+    return bytes(buf)
+
+
+def decode_message(wire: bytes) -> Message:
+    """Parse a wire-format packet into a :class:`Message`.
+
+    The OPT pseudo-record, if present, is lifted out of the additional
+    section into ``msg.edns``.
+    """
+    if len(wire) < 12:
+        raise TruncatedMessageError("message shorter than header")
+    msg_id, flags, qdcount, ancount, nscount, arcount = \
+        struct.unpack_from("!HHHHHH", wire)
+    try:
+        opcode = Opcode((flags >> 11) & 0xF)
+    except ValueError:
+        opcode = Opcode.QUERY
+    msg = Message(
+        msg_id=msg_id,
+        opcode=opcode,
+        is_response=bool(flags & _FLAG_QR),
+        authoritative=bool(flags & _FLAG_AA),
+        truncated=bool(flags & _FLAG_TC),
+        recursion_desired=bool(flags & _FLAG_RD),
+        recursion_available=bool(flags & _FLAG_RA),
+    )
+    base_rcode = flags & 0xF
+    offset = 12
+    if qdcount > 1:
+        raise WireFormatError(f"multi-question message (qdcount={qdcount})")
+    if qdcount:
+        qname, offset = decode_name(wire, offset)
+        if offset + 4 > len(wire):
+            raise TruncatedMessageError("question truncated")
+        qtype, qclass = struct.unpack_from("!HH", wire, offset)
+        offset += 4
+        try:
+            qtype_enum = RecordType(qtype)
+        except ValueError:
+            qtype_enum = qtype  # type: ignore[assignment]
+        try:
+            qclass_enum = RecordClass(qclass)
+        except ValueError:
+            qclass_enum = qclass  # type: ignore[assignment]
+        msg.question = Question(qname, qtype_enum, qclass_enum)
+
+    ext_rcode = 0
+    sections = ((ancount, msg.answers), (nscount, msg.authority))
+    for count, section in sections:
+        for _ in range(count):
+            rr, offset = _decode_rr(wire, offset)
+            section.append(rr)
+    for _ in range(arcount):
+        start = offset
+        rr, offset = _decode_rr(wire, offset)
+        if rr.rdtype == RecordType.OPT:
+            # Re-read OPT's raw fields: class is payload size, TTL packs
+            # extended rcode / version / DO.
+            _, opt_offset = decode_name(wire, start)
+            rdtype, payload, opt_ttl, rdlength = \
+                struct.unpack_from("!HHIH", wire, opt_offset)
+            ext_rcode = (opt_ttl >> 24) & 0xFF
+            msg.edns = EdnsInfo(
+                payload_size=payload,
+                version=(opt_ttl >> 16) & 0xFF,
+                dnssec_ok=bool(opt_ttl & 0x8000),
+                options=decode_options(wire[opt_offset + 10:
+                                            opt_offset + 10 + rdlength]),
+            )
+        else:
+            msg.additional.append(rr)
+    rcode_val = (ext_rcode << 4) | base_rcode
+    try:
+        msg.rcode = Rcode(rcode_val)
+    except ValueError:
+        msg.rcode = Rcode(base_rcode)
+    return msg

@@ -1,0 +1,14 @@
+"""Measurement tooling: scanner, dig client, probers, Atlas platform."""
+
+from .atlas import AtlasPlatform, AtlasProbe
+from .caching_probe import (CachingBehaviorProber, ProbeReport,
+                            PROBE_SUBNET_A, PROBE_SUBNET_B)
+from .digclient import DigResult, StubClient
+from .scanner import Scanner, ScanResult
+from .scope_reaction import ScopeReactionOutcome, ScopeReactionProber
+
+__all__ = [
+    "AtlasPlatform", "AtlasProbe", "CachingBehaviorProber", "DigResult",
+    "PROBE_SUBNET_A", "PROBE_SUBNET_B", "ProbeReport", "ScanResult",
+    "Scanner", "ScopeReactionOutcome", "ScopeReactionProber", "StubClient",
+]

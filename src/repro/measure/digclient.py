@@ -1,0 +1,90 @@
+"""A dig-like stub client.
+
+Sends single queries — to a recursive resolver or directly to an
+authoritative server — with full control over the ECS option, as the paper
+does with ``dig`` in section 8.1 (Table 2) and with its scanning scripts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..dnslib import EcsOption, Message, Name, Rcode, RecordType
+from ..net.transport import Network, QueryOutcome
+
+
+@dataclass
+class DigResult:
+    """Everything a measurement needs from one query."""
+
+    response: Optional[Message]
+    elapsed_ms: float
+
+    @property
+    def rcode(self) -> Optional[Rcode]:
+        return self.response.rcode if self.response else None
+
+    @property
+    def addresses(self) -> List[str]:
+        """A/AAAA answers, in order."""
+        return self.response.answer_addresses() if self.response else []
+
+    @property
+    def first_address(self) -> Optional[str]:
+        addrs = self.addresses
+        return addrs[0] if addrs else None
+
+    @property
+    def scope(self) -> Optional[int]:
+        """The scope prefix length in the response ECS, if any."""
+        if self.response is None:
+            return None
+        ecs = self.response.ecs()
+        return ecs.scope_prefix_length if ecs else None
+
+
+class StubClient:
+    """An end host (or measurement box) issuing DNS queries."""
+
+    def __init__(self, ip: str, net: Network):
+        self.ip = ip
+        self.net = net
+        self._msg_ids = itertools.count(1)
+
+    def query(self, server_ip: str, qname: Union[str, Name],
+              qtype: RecordType = RecordType.A,
+              ecs: Optional[EcsOption] = None,
+              recursion_desired: bool = True,
+              use_edns: bool = True,
+              tcp: bool = False,
+              retry_on_truncation: bool = True) -> DigResult:
+        """Send one query and return the parsed result.
+
+        A TC=1 response is retried over TCP automatically (like dig),
+        unless ``retry_on_truncation`` is disabled.
+        """
+        name = Name.from_text(qname) if isinstance(qname, str) else qname
+        msg = Message.make_query(name, qtype,
+                                 msg_id=next(self._msg_ids) & 0xFFFF,
+                                 recursion_desired=recursion_desired,
+                                 use_edns=use_edns, ecs=ecs)
+        start = self.net.clock.now()
+        outcome: QueryOutcome = self.net.query(self.ip, server_ip, msg,
+                                               tcp=tcp)
+        if (retry_on_truncation and not tcp and outcome.response is not None
+                and outcome.response.truncated):
+            outcome = self.net.query(self.ip, server_ip, msg, tcp=True)
+            elapsed = (self.net.clock.now() - start) * 1000.0 \
+                if self.net.advance_clock else outcome.elapsed_ms
+            return DigResult(outcome.response, elapsed)
+        return DigResult(outcome.response, outcome.elapsed_ms)
+
+    def query_with_subnet(self, server_ip: str, qname: Union[str, Name],
+                          subnet: str, prefix_len: int,
+                          qtype: RecordType = RecordType.A) -> DigResult:
+        """Convenience: query with an explicit client-subnet option, like
+        ``dig +subnet=...``."""
+        ecs = EcsOption.from_client_address(subnet, prefix_len)
+        return self.query(server_ip, qname, qtype=qtype, ecs=ecs)

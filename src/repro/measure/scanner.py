@@ -1,0 +1,88 @@
+"""The IPv4 scan (section 4's Scan dataset methodology).
+
+The paper scanned the IPv4 space at 25K qps with hostnames encoding the
+probed address, so the experimental authoritative server could associate
+each open ingress resolver with the egress resolver(s) that contacted it.
+Queries are sent *without* ECS, since open forwarders are mostly home
+routers that may mishandle unknown options.
+
+:class:`Scanner` runs the same campaign against a
+:class:`~repro.datasets.scan_dataset.ScanUniverse` and assembles the Scan
+dataset records from the experiment server's log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..auth.scan_experiment import encode_probe_name
+from ..datasets.records import ScanQueryRecord
+from ..datasets.scan_dataset import ScanUniverse
+from ..dnslib import Name, RecordType
+from .digclient import StubClient
+
+
+@dataclass
+class ScanResult:
+    """Everything the scan produced."""
+
+    records: List[ScanQueryRecord]
+    responding_ingress: Set[str]
+    ecs_ingress: Set[str]
+    ecs_egress: Set[str]
+
+    def records_by_ingress(self) -> Dict[str, List[ScanQueryRecord]]:
+        out: Dict[str, List[ScanQueryRecord]] = {}
+        for r in self.records:
+            if r.ingress_ip:
+                out.setdefault(r.ingress_ip, []).append(r)
+        return out
+
+    def records_by_egress(self) -> Dict[str, List[ScanQueryRecord]]:
+        out: Dict[str, List[ScanQueryRecord]] = {}
+        for r in self.records:
+            out.setdefault(r.egress_ip, []).append(r)
+        return out
+
+
+class Scanner:
+    """Drives the scan from a single vantage machine."""
+
+    def __init__(self, universe: ScanUniverse,
+                 inter_query_gap_s: float = 1.0 / 25_000):
+        self.universe = universe
+        self.client = StubClient(universe.scanner_ip, universe.net)
+        self.inter_query_gap_s = inter_query_gap_s
+
+    def scan(self, ingress_ips: Optional[Sequence[str]] = None) -> ScanResult:
+        """Probe every ingress once; harvest the authoritative's log."""
+        universe = self.universe
+        targets = list(ingress_ips if ingress_ips is not None
+                       else universe.forwarder_ips)
+        start_index = len(universe.experiment_server.observations)
+        responding: Set[str] = set()
+        for ingress_ip in targets:
+            qname = encode_probe_name(ingress_ip, universe.domain)
+            # The probe carries no ECS and asks for an A record, as the
+            # paper's scan did.
+            result = self.client.query(ingress_ip, qname, RecordType.A,
+                                       use_edns=False)
+            if result.response is not None and result.addresses:
+                responding.add(ingress_ip)
+            universe.net.clock.advance(self.inter_query_gap_s)
+
+        records: List[ScanQueryRecord] = []
+        ecs_ingress: Set[str] = set()
+        ecs_egress: Set[str] = set()
+        for obs in universe.experiment_server.observations[start_index:]:
+            records.append(ScanQueryRecord(
+                ts=obs.ts, ingress_ip=obs.ingress_ip, egress_ip=obs.egress_ip,
+                qname=obs.qname, has_ecs=obs.has_ecs,
+                ecs_address=obs.ecs_address,
+                ecs_source_len=obs.ecs_source_len))
+            if obs.has_ecs:
+                ecs_egress.add(obs.egress_ip)
+                if obs.ingress_ip:
+                    ecs_ingress.add(obs.ingress_ip)
+        return ScanResult(records, responding, ecs_ingress, ecs_egress)

@@ -1,0 +1,20 @@
+"""Simulated internet: virtual time, geography, addressing, transport."""
+
+from .addr import (AddressAllocator, address_width, host_in, is_routable,
+                   prefix_key, prefix_text, random_address_in, same_prefix,
+                   truncate_address)
+from .clock import SimClock
+from .geo import (WORLD_CITIES, City, GeoDatabase, GeoPoint, cities_in, city,
+                  haversine_km)
+from .latency import DEFAULT_LATENCY, LatencyModel
+from .topology import AutonomousSystem, Topology
+from .transport import Endpoint, Network, NetworkStats, QueryOutcome
+
+__all__ = [
+    "AddressAllocator", "AutonomousSystem", "City", "DEFAULT_LATENCY",
+    "Endpoint", "GeoDatabase", "GeoPoint", "LatencyModel", "Network",
+    "NetworkStats", "QueryOutcome", "SimClock", "Topology", "WORLD_CITIES",
+    "address_width", "cities_in", "city", "haversine_km", "host_in",
+    "is_routable", "prefix_key", "prefix_text", "random_address_in",
+    "same_prefix", "truncate_address",
+]

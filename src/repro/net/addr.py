@@ -1,0 +1,126 @@
+"""IP address and prefix utilities shared across the library.
+
+Mostly thin, well-tested wrappers over :mod:`ipaddress` that implement the
+prefix arithmetic the ECS machinery needs: truncating an address to *n*
+significant bits, computing prefix keys for cache/scope indexing, sampling
+addresses inside a prefix, and an address allocator that hands out
+non-overlapping subnets deterministically.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from typing import Iterator, Tuple, Union
+
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+
+
+def address_width(address: Union[str, IPAddress]) -> int:
+    """32 for IPv4 addresses, 128 for IPv6."""
+    return 32 if ipaddress.ip_address(address).version == 4 else 128
+
+
+def truncate_address(address: Union[str, IPAddress], bits: int) -> IPAddress:
+    """Zero every bit of ``address`` beyond the first ``bits``.
+
+    >>> str(truncate_address("192.0.2.77", 24))
+    '192.0.2.0'
+    """
+    addr = ipaddress.ip_address(address)
+    width = 32 if addr.version == 4 else 128
+    if not 0 <= bits <= width:
+        raise ValueError(f"prefix length {bits} out of range for IPv{addr.version}")
+    mask = ((1 << bits) - 1) << (width - bits) if bits else 0
+    # Rebuild with the explicit class: ip_address(int) would guess IPv4
+    # for any value below 2**32.
+    if addr.version == 4:
+        return ipaddress.IPv4Address(int(addr) & mask)
+    return ipaddress.IPv6Address(int(addr) & mask)
+
+
+def prefix_key(address: Union[str, IPAddress], bits: int) -> Tuple[int, int, int]:
+    """A hashable key identifying the ``bits``-long prefix of ``address``.
+
+    The key is (version, bits, truncated-integer); two addresses share a key
+    iff they fall in the same prefix.
+    """
+    addr = ipaddress.ip_address(address)
+    return (addr.version, bits, int(truncate_address(addr, bits)))
+
+
+def prefix_text(address: Union[str, IPAddress], bits: int) -> str:
+    """Presentation form ``network/bits`` of the covering prefix."""
+    return f"{truncate_address(address, bits)}/{bits}"
+
+
+def same_prefix(a: Union[str, IPAddress], b: Union[str, IPAddress],
+                bits: int) -> bool:
+    """True if ``a`` and ``b`` fall in the same ``bits``-long prefix."""
+    addr_a, addr_b = ipaddress.ip_address(a), ipaddress.ip_address(b)
+    if addr_a.version != addr_b.version:
+        return False
+    return truncate_address(addr_a, bits) == truncate_address(addr_b, bits)
+
+
+def random_address_in(network: Union[str, IPNetwork],
+                      rng: random.Random) -> IPAddress:
+    """A uniformly random host address inside ``network``."""
+    net = ipaddress.ip_network(network, strict=False)
+    lo = int(net.network_address)
+    span = net.num_addresses
+    return ipaddress.ip_address(lo + rng.randrange(span))
+
+
+def host_in(network: Union[str, IPNetwork], index: int) -> IPAddress:
+    """The ``index``-th address of ``network`` (deterministic placement)."""
+    net = ipaddress.ip_network(network, strict=False)
+    if index >= net.num_addresses:
+        raise ValueError(f"{network} has no host index {index}")
+    return ipaddress.ip_address(int(net.network_address) + index)
+
+
+def is_routable(address: Union[str, IPAddress]) -> bool:
+    """False for loopback / link-local / private / unspecified addresses."""
+    addr = ipaddress.ip_address(address)
+    return not (addr.is_loopback or addr.is_link_local or addr.is_private
+                or addr.is_unspecified or addr.is_multicast)
+
+
+class AddressAllocator:
+    """Deterministically hands out non-overlapping subnets of a supernet.
+
+    >>> alloc = AddressAllocator("10.0.0.0/8")
+    >>> str(alloc.subnet(16))
+    '10.0.0.0/16'
+    >>> str(alloc.subnet(24))
+    '10.1.0.0/24'
+    """
+
+    def __init__(self, supernet: Union[str, IPNetwork]):
+        self._supernet = ipaddress.ip_network(supernet, strict=False)
+        self._cursor = int(self._supernet.network_address)
+        self._end = self._cursor + self._supernet.num_addresses
+
+    def subnet(self, prefixlen: int) -> IPNetwork:
+        """Allocate the next free subnet of the requested length."""
+        if prefixlen < self._supernet.prefixlen:
+            raise ValueError(f"/{prefixlen} larger than supernet {self._supernet}")
+        width = 32 if self._supernet.version == 4 else 128
+        size = 1 << (width - prefixlen)
+        # Align the cursor to the subnet size.
+        start = (self._cursor + size - 1) & ~(size - 1)
+        if start + size > self._end:
+            raise ValueError(f"supernet {self._supernet} exhausted")
+        self._cursor = start + size
+        return ipaddress.ip_network((start, prefixlen))
+
+    def subnets(self, prefixlen: int, count: int) -> Iterator[IPNetwork]:
+        """Allocate ``count`` subnets of the same length."""
+        for _ in range(count):
+            yield self.subnet(prefixlen)
+
+    @property
+    def supernet(self) -> IPNetwork:
+        return self._supernet

@@ -1,0 +1,36 @@
+"""Virtual time.
+
+Every stateful component (caches, probing timers, TTL handling) reads time
+from a :class:`SimClock` so experiments are deterministic and can fast-forward
+through TTL windows instantly.  No component in the library ever consults the
+wall clock.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically non-decreasing virtual clock, in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump forward to ``timestamp``; no-op if already past it."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.3f})"

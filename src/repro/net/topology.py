@@ -1,0 +1,168 @@
+"""Topology: autonomous systems, host placement, and address allocation.
+
+The simulated Internet is a flat datagram fabric (see
+:mod:`repro.net.transport`) plus this placement layer, which assigns every
+entity an IP address inside an AS, places it in a city, and feeds the
+geolocation database so distance- and RTT-based analyses work exactly like
+the paper's EdgeScape-based ones.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .addr import AddressAllocator, host_in
+from .clock import SimClock
+from .geo import City, GeoDatabase
+from .latency import DEFAULT_LATENCY, LatencyModel
+
+#: IPv4 space carved up among simulated ASes (public, non-special ranges).
+DEFAULT_V4_SUPERNET = "16.0.0.0/4"
+#: IPv6 space for simulated ASes.
+DEFAULT_V6_SUPERNET = "2600::/16"
+
+
+@dataclass
+class _CityBlock:
+    """Allocation state for one (AS, city) pair."""
+
+    networks: List[ipaddress.IPv4Network] = field(default_factory=list)
+    next_host: int = 1  # skip .0 (network address)
+
+
+class AutonomousSystem:
+    """One AS: a number, a home country, address space, and host placement."""
+
+    def __init__(self, asn: int, name: str, country: str,
+                 topology: "Topology", v4_supernet, v6_supernet):
+        self.asn = asn
+        self.name = name
+        self.country = country
+        self._topology = topology
+        self._v4 = AddressAllocator(v4_supernet)
+        self._v6 = AddressAllocator(v6_supernet)
+        self._city_blocks: Dict[str, _CityBlock] = {}
+        self._v6_city_blocks: Dict[str, _CityBlock] = {}
+
+    def subnet_in(self, city: City, prefixlen: int = 24) -> ipaddress.IPv4Network:
+        """Allocate a fresh IPv4 subnet geolocated at ``city``."""
+        net = self._v4.subnet(prefixlen)
+        self._topology.geo.add(net, city)
+        return net
+
+    def subnet6_in(self, city: City, prefixlen: int = 48) -> ipaddress.IPv6Network:
+        """Allocate a fresh IPv6 subnet geolocated at ``city``."""
+        net = self._v6.subnet(prefixlen)
+        self._topology.geo.add(net, city)
+        return net
+
+    def host_in(self, city: City) -> str:
+        """Place one IPv4 host in ``city``; /24s are allocated on demand."""
+        block = self._city_blocks.setdefault(city.name, _CityBlock())
+        if not block.networks or block.next_host >= 255:
+            block.networks.append(self.subnet_in(city, 24))
+            block.next_host = 1
+        ip = str(host_in(block.networks[-1], block.next_host))
+        block.next_host += 1
+        self._topology.host_as[ip] = self
+        self._topology.host_city[ip] = city
+        return ip
+
+    def host_in_new_subnet(self, city: City) -> str:
+        """Place an IPv4 host in ``city`` in a *fresh* /24.
+
+        The caching-behavior experiments (section 6.3) need pairs of
+        forwarders in different /24s sharing a /16; since an AS's /24s all
+        come from its own /16 slice, two calls to this method give exactly
+        that structure.
+        """
+        block = self._city_blocks.setdefault(city.name, _CityBlock())
+        block.networks.append(self.subnet_in(city, 24))
+        block.next_host = 1
+        ip = str(host_in(block.networks[-1], block.next_host))
+        block.next_host += 1
+        self._topology.host_as[ip] = self
+        self._topology.host_city[ip] = city
+        return ip
+
+    def host6_in(self, city: City) -> str:
+        """Place one IPv6 host in ``city``; /48s are allocated on demand."""
+        block = self._v6_city_blocks.setdefault(city.name, _CityBlock())
+        if not block.networks or block.next_host >= 1 << 16:
+            block.networks.append(self.subnet6_in(city, 48))
+            block.next_host = 1
+        ip = str(host_in(block.networks[-1], block.next_host))
+        block.next_host += 1
+        self._topology.host_as[ip] = self
+        self._topology.host_city[ip] = city
+        return ip
+
+    def __repr__(self) -> str:
+        return f"AS{self.asn}({self.name!r}, {self.country})"
+
+
+class Topology:
+    """The placement layer: ASes, the geo database, clock and latency model."""
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 latency: Optional[LatencyModel] = None,
+                 v4_supernet: str = DEFAULT_V4_SUPERNET,
+                 v6_supernet: str = DEFAULT_V6_SUPERNET):
+        self.clock = clock or SimClock()
+        self.latency = latency or DEFAULT_LATENCY
+        self.geo = GeoDatabase()
+        self.host_as: Dict[str, AutonomousSystem] = {}
+        self.host_city: Dict[str, City] = {}
+        self._ases: Dict[int, AutonomousSystem] = {}
+        self._v4_pool = AddressAllocator(v4_supernet)
+        self._v6_pool = AddressAllocator(v6_supernet)
+        self._asn_counter = itertools.count(64500)
+
+    def create_as(self, name: str, country: str,
+                  asn: Optional[int] = None,
+                  v4_prefixlen: int = 16,
+                  v6_prefixlen: int = 32) -> AutonomousSystem:
+        """Register a new AS with its own slice of address space."""
+        if asn is None:
+            asn = next(self._asn_counter)
+        if asn in self._ases:
+            raise ValueError(f"AS{asn} already registered")
+        as_ = AutonomousSystem(asn, name, country, self,
+                               self._v4_pool.subnet(v4_prefixlen),
+                               self._v6_pool.subnet(v6_prefixlen))
+        self._ases[asn] = as_
+        return as_
+
+    def autonomous_system(self, asn: int) -> AutonomousSystem:
+        return self._ases[asn]
+
+    def ases(self) -> List[AutonomousSystem]:
+        return list(self._ases.values())
+
+    def as_of(self, ip: str) -> Optional[AutonomousSystem]:
+        """The AS that placed ``ip``, if any."""
+        return self.host_as.get(ip)
+
+    def city_of(self, ip: str) -> Optional[City]:
+        """Where ``ip`` was placed (exact), falling back to the geo DB."""
+        hit = self.host_city.get(ip)
+        if hit is not None:
+            return hit
+        return self.geo.locate(ip)
+
+    def distance_km(self, ip_a: str, ip_b: str) -> Optional[float]:
+        """Great-circle distance between two hosts' locations."""
+        a, b = self.city_of(ip_a), self.city_of(ip_b)
+        if a is None or b is None:
+            return None
+        return a.distance_km(b)
+
+    def rtt_ms(self, ip_a: str, ip_b: str, rng=None, default_km: float = 2000.0) -> float:
+        """Model RTT between two hosts (falls back to ``default_km``)."""
+        dist = self.distance_km(ip_a, ip_b)
+        if dist is None:
+            dist = default_km
+        return self.latency.rtt_ms(dist, rng)

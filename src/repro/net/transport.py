@@ -1,0 +1,169 @@
+"""Datagram transport: serializes every message through the wire codec.
+
+:class:`Network` plays the role of UDP over the Internet.  Endpoints register
+under their IP addresses and implement ``handle_datagram``; a query is
+encoded to bytes, "propagated" (the shared clock advances by the modeled
+one-way latency), handled — possibly triggering nested queries that advance
+the clock further — and the response propagates back.  The elapsed virtual
+time for a full recursive resolution therefore falls out naturally.
+
+Failure injection: per-destination drop rules let tests exercise timeout
+paths, and a byte-budget counter supports query-amplification analyses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Protocol
+
+from ..dnslib import Message, decode_message, encode_message
+from .topology import Topology
+
+
+class Endpoint(Protocol):
+    """Anything that can receive a DNS datagram."""
+
+    ip: str
+
+    def handle_datagram(self, wire: bytes, src_ip: str, net: "Network",
+                        tcp: bool = False) -> Optional[bytes]:
+        """Process one datagram; return the response bytes or ``None`` to drop.
+
+        ``tcp`` marks a stream-transport delivery: no UDP size limit
+        applies and the response must not be truncated.
+        """
+
+
+@dataclass
+class QueryOutcome:
+    """Result of one round trip: the response (or None on timeout) and timing."""
+
+    response: Optional[Message]
+    elapsed_ms: float
+    timed_out: bool = False
+
+
+@dataclass
+class NetworkStats:
+    """Counters for traffic crossing the fabric."""
+
+    datagrams: int = 0
+    bytes_sent: int = 0
+    timeouts: int = 0
+    drops: int = 0
+    per_destination: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, dst_ip: str, nbytes: int) -> None:
+        self.datagrams += 1
+        self.bytes_sent += nbytes
+        self.per_destination[dst_ip] = self.per_destination.get(dst_ip, 0) + 1
+
+
+class Network:
+    """The simulated datagram fabric."""
+
+    #: Elapsed time charged for a query that never gets answered.
+    TIMEOUT_MS = 2000.0
+
+    def __init__(self, topology: Optional[Topology] = None,
+                 advance_clock: bool = True,
+                 rng: Optional[random.Random] = None):
+        self.topology = topology or Topology()
+        self.clock = self.topology.clock
+        self.advance_clock = advance_clock
+        self.stats = NetworkStats()
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._loss: Dict[str, float] = {}
+        self._filters: list[Callable[[str, str, bytes], bool]] = []
+        self._rng = rng or random.Random(0)
+
+    # -- registry ----------------------------------------------------------
+
+    def attach(self, endpoint: Endpoint, ip: Optional[str] = None) -> None:
+        """Register ``endpoint`` at its IP (or an explicit alias address)."""
+        self._endpoints[ip or endpoint.ip] = endpoint
+
+    def detach(self, ip: str) -> None:
+        self._endpoints.pop(ip, None)
+
+    def endpoint_at(self, ip: str) -> Optional[Endpoint]:
+        return self._endpoints.get(ip)
+
+    # -- failure injection ---------------------------------------------------
+
+    def set_loss(self, dst_ip: str, probability: float) -> None:
+        """Drop datagrams to ``dst_ip`` with the given probability."""
+        self._loss[dst_ip] = probability
+
+    def add_filter(self, predicate: Callable[[str, str, bytes], bool]) -> None:
+        """Install a drop filter ``(src, dst, wire) -> drop?``."""
+        self._filters.append(predicate)
+
+    def _dropped(self, src_ip: str, dst_ip: str, wire: bytes) -> bool:
+        p = self._loss.get(dst_ip, 0.0)
+        if p and self._rng.random() < p:
+            return True
+        return any(f(src_ip, dst_ip, wire) for f in self._filters)
+
+    # -- the data path -------------------------------------------------------
+
+    def query(self, src_ip: str, dst_ip: str, message: Message,
+              rng: Optional[random.Random] = None,
+              tcp: bool = False) -> QueryOutcome:
+        """Send ``message`` and wait (in virtual time) for the response.
+
+        ``tcp=True`` models a stream query (retry after truncation): one
+        extra RTT is charged for the handshake and no size limit applies.
+        """
+        start = self.clock.now()
+        wire = encode_message(message)
+        self.stats.record(dst_ip, len(wire))
+        one_way_s = self.topology.rtt_ms(src_ip, dst_ip, rng) / 2.0 / 1000.0
+
+        endpoint = self._endpoints.get(dst_ip)
+        if endpoint is None or self._dropped(src_ip, dst_ip, wire):
+            if endpoint is None:
+                self.stats.timeouts += 1
+            else:
+                self.stats.drops += 1
+            if self.advance_clock:
+                self.clock.advance(self.TIMEOUT_MS / 1000.0)
+            return QueryOutcome(None, self.TIMEOUT_MS, timed_out=True)
+
+        if self.advance_clock:
+            if tcp:
+                self.clock.advance(2 * one_way_s)  # TCP handshake
+            self.clock.advance(one_way_s)
+        response_wire = endpoint.handle_datagram(wire, src_ip, self, tcp=tcp)
+        if response_wire is None:
+            self.stats.drops += 1
+            if self.advance_clock:
+                # the timeout clock started when the query was sent
+                deadline = start + self.TIMEOUT_MS / 1000.0
+                self.clock.advance_to(deadline)
+            return QueryOutcome(None, self.TIMEOUT_MS, timed_out=True)
+        if self.advance_clock:
+            self.clock.advance(one_way_s)
+        elapsed_ms = (self.clock.now() - start) * 1000.0 if self.advance_clock \
+            else one_way_s * 2000.0
+        return QueryOutcome(decode_message(response_wire), elapsed_ms)
+
+    def tcp_handshake_ms(self, src_ip: str, dst_ip: str,
+                         rng: Optional[random.Random] = None) -> float:
+        """Model a TCP connect: one RTT to the destination.
+
+        Used by the Atlas-like probes (Figs 6, 7) and the CNAME-flattening
+        case study (Fig 8); no bytes actually flow.
+        """
+        return self.topology.rtt_ms(src_ip, dst_ip, rng)
+
+    def ping_ms(self, src_ip: str, dst_ip: str, count: int = 8,
+                rng: Optional[random.Random] = None) -> float:
+        """Average of ``count`` modeled pings (Table 2 averages 8)."""
+        rng = rng or self._rng
+        if count <= 0:
+            raise ValueError("ping count must be positive")
+        samples = [self.topology.rtt_ms(src_ip, dst_ip, rng)
+                   for _ in range(count)]
+        return sum(samples) / len(samples)

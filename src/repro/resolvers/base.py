@@ -1,0 +1,12 @@
+"""Shared base for resolver-side endpoints.
+
+Re-exports the datagram plumbing of :class:`repro.auth.server.DnsServer` so
+resolver classes live in their own package without duplicating the wire
+handling.
+"""
+
+from __future__ import annotations
+
+from ..auth.server import DnsServer
+
+__all__ = ["DnsServer"]

@@ -1,0 +1,76 @@
+"""Forwarders and hidden resolvers.
+
+The paper's terminology (section 3): *ingress* resolvers take queries from
+end hosts and usually just forward them — most of the open resolvers found
+by the scan are home-router forwarders.  Some deployments interpose one or
+more *hidden* resolvers between the ingress forwarder and the egress
+(recursive) resolver.  Because many egress resolvers derive the ECS prefix
+from the immediate sender of a query, a hidden resolver's address — not the
+client's — ends up in the ECS option, which is how the paper discovers them
+(section 8.2) and why they can wreck CDN mapping.
+
+Both roles are :class:`Forwarder` instances; a hidden resolver is simply a
+forwarder sitting mid-chain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+from ..dnslib import Message, Rcode
+from ..net.transport import Network
+from .base import DnsServer
+
+
+class Forwarder(DnsServer):
+    """Stateless query forwarder (ingress resolver or hidden resolver).
+
+    ``strip_ecs`` models simple devices that drop unknown EDNS options;
+    the default passes any client-supplied ECS through untouched ("blindly
+    forward"), which is what lets the caching-behavior experiments inject
+    arbitrary prefixes through some resolution paths.
+    """
+
+    def __init__(self, ip: str, upstreams: Sequence[str],
+                 strip_ecs: bool = False):
+        super().__init__(ip, log_queries=False)
+        if not upstreams:
+            raise ValueError("a forwarder needs at least one upstream")
+        self.upstreams = list(upstreams)
+        self.strip_ecs = strip_ecs
+        self._msg_ids = itertools.count(1)
+        self.forwarded = 0
+
+    def handle_query(self, query: Message, src_ip: str,
+                     net: Network) -> Optional[Message]:
+        upstream_query = query.copy()
+        upstream_query.msg_id = next(self._msg_ids) & 0xFFFF
+        if self.strip_ecs:
+            upstream_query.set_ecs(None)
+        self.forwarded += 1
+        for upstream in self.upstreams:
+            outcome = net.query(self.ip, upstream, upstream_query)
+            if outcome.response is not None:
+                reply = outcome.response.copy()
+                reply.msg_id = query.msg_id
+                return reply
+        failed = query.make_response()
+        failed.rcode = Rcode.SERVFAIL
+        return failed
+
+
+def build_chain(net: Network, ips: Sequence[str],
+                egress_ip: str) -> List[Forwarder]:
+    """Wire a forwarding chain ``ips[0] -> ips[1] -> ... -> egress_ip``.
+
+    Returns the created forwarders, head first.  ``ips[1:]`` play the role
+    of hidden resolvers.
+    """
+    forwarders: List[Forwarder] = []
+    hops = list(ips) + [egress_ip]
+    for ip, nxt in zip(hops, hops[1:]):
+        fwd = Forwarder(ip, [nxt])
+        net.attach(fwd)
+        forwarders.append(fwd)
+    return forwarders

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_seed_default(self):
+        args = build_parser().parse_args(["scan"])
+        assert args.seed == 0 and args.command == "scan"
+
+    def test_all_command_has_every_knob(self):
+        args = build_parser().parse_args(["all"])
+        for attr in ("ingress", "scale", "allnames_scale", "hours", "probes"):
+            assert hasattr(args, attr)
+
+
+class TestCommands:
+    def test_census_prints_reports(self, capsys):
+        rc = main(["--seed", "2", "census", "--scale", "0.004",
+                   "--hours", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "probing strategies" in out
+        assert "Table 1" in out
+        assert "root-server ECS violations" in out
+
+    def test_caching_command(self, capsys):
+        rc = main(["--seed", "2", "caching", "--ingress", "30"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "caching behavior classes" in out
+
+    def test_scan_command_writes_reports(self, tmp_path, capsys):
+        rc = main(["--seed", "2", "--out", str(tmp_path), "scan",
+                   "--ingress", "40"])
+        assert rc == 0
+        written = {p.name for p in tmp_path.glob("*.txt")}
+        assert {"scan_summary.txt", "discovery.txt", "table1_scan.txt",
+                "hidden.txt"} <= written
+        assert "Scan dataset" in capsys.readouterr().out
+
+    def test_pitfalls_command(self, capsys):
+        rc = main(["--seed", "2", "pitfalls", "--probes", "25"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 2" in out
+        assert "FIG6" in out and "FIG7" in out
+        assert "penalty" in out
+
+    def test_blowup_command(self, capsys):
+        rc = main(["--seed", "2", "blowup", "--scale", "0.002",
+                   "--allnames-scale", "0.05", "--hours", "0.1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Figure 1" in out and "Figure 3" in out
+
+    def test_generate_then_replay_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["--seed", "2", "generate", "allnames", str(trace),
+                   "--scale", "0.01"])
+        assert rc == 0 and trace.exists()
+        rc = main(["replay", "allnames", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "blow-up factor" in out
+
+    def test_generate_public_cdn(self, tmp_path, capsys):
+        trace = tmp_path / "pc.jsonl"
+        rc = main(["--seed", "2", "generate", "public-cdn", str(trace),
+                   "--scale", "0.002", "--hours", "0.05"])
+        assert rc == 0
+        rc = main(["replay", "public-cdn", str(trace)])
+        assert rc == 0
+        assert "records replayed" in capsys.readouterr().out
+
+    def test_generate_cdn_dataset(self, tmp_path):
+        trace = tmp_path / "cdn.jsonl"
+        rc = main(["--seed", "2", "generate", "cdn", str(trace),
+                   "--scale", "0.002", "--hours", "0.2"])
+        assert rc == 0 and trace.stat().st_size > 0

@@ -1,0 +1,170 @@
+"""Tests for the behavior classifiers of sections 6.1–6.3."""
+
+import pytest
+
+from repro.core.classify import (CachingCategory, CachingProbeOutcome,
+                                 ProbingCategory, QueryObservation,
+                                 classify_caching, classify_probing,
+                                 prefix_length_profile)
+
+
+def obs(ts, qname="www.cdn.example.", qtype=1, ecs=None, source_len=24):
+    return QueryObservation(ts, qname, qtype, ecs is not None, ecs,
+                            source_len if ecs else None)
+
+
+class TestProbingClassifier:
+    def test_no_queries(self):
+        verdict = classify_probing([])
+        assert verdict.category is ProbingCategory.NO_ECS
+
+    def test_no_ecs(self):
+        verdict = classify_probing([obs(i) for i in range(10)])
+        assert verdict.category is ProbingCategory.NO_ECS
+
+    def test_always(self):
+        records = [obs(i, ecs="10.0.0.0") for i in range(10)]
+        verdict = classify_probing(records)
+        assert verdict.category is ProbingCategory.ALWAYS_ECS
+        assert verdict.ecs_fraction == 1.0
+
+    def test_always_ignores_non_address_queries(self):
+        records = [obs(i, ecs="10.0.0.0") for i in range(5)]
+        records.append(obs(99, qtype=2))  # NS query without ECS
+        assert classify_probing(records).category is ProbingCategory.ALWAYS_ECS
+
+    def test_hostname_probes(self):
+        # ECS confined to one name, re-queried inside the 20 s TTL.
+        records = [obs(i * 40, ecs=None) for i in range(20)]
+        records += [obs(i * 10.0, qname="probe.cdn.example.",
+                        ecs="10.0.0.0") for i in range(30)]
+        verdict = classify_probing(records, record_ttl=20)
+        assert verdict.category is ProbingCategory.HOSTNAME_PROBES
+        assert verdict.ecs_hostnames == {"probe.cdn.example."}
+
+    def test_on_miss(self):
+        # ECS confined to one name, never within 60 s of the previous query.
+        records = [obs(i * 40.0) for i in range(20)]
+        records += [obs(i * 120.0, qname="probe.cdn.example.",
+                        ecs="10.0.0.0") for i in range(10)]
+        verdict = classify_probing(records, record_ttl=20)
+        assert verdict.category is ProbingCategory.HOSTNAMES_ON_MISS
+
+    def test_interval_loopback(self):
+        records = [obs(i * 15.0) for i in range(100)]
+        records += [obs(i * 1800.0, qname="beacon.cdn.example.",
+                        ecs="127.0.0.1", source_len=32) for i in range(5)]
+        verdict = classify_probing(records)
+        assert verdict.category is ProbingCategory.INTERVAL_LOOPBACK
+        assert verdict.uses_loopback
+        assert verdict.interval_estimate == pytest.approx(1800.0)
+
+    def test_interval_loopback_multiples(self):
+        ts = [0.0, 1800.0, 5400.0, 7200.0]  # gaps 1800, 3600, 1800
+        records = [obs(i * 15.0) for i in range(50)]
+        records += [obs(t, qname="b.cdn.example.", ecs="127.0.0.1",
+                        source_len=32) for t in ts]
+        assert classify_probing(records).category is \
+            ProbingCategory.INTERVAL_LOOPBACK
+
+    def test_short_interval_loopback_not_interval(self):
+        # Loopback probes every 30 s are not the 30-minute pattern.
+        records = [obs(i * 15.0) for i in range(50)]
+        records += [obs(i * 30.0, qname="b.cdn.example.", ecs="127.0.0.1",
+                        source_len=32) for i in range(20)]
+        assert classify_probing(records).category is not \
+            ProbingCategory.INTERVAL_LOOPBACK
+
+    def test_mixed(self):
+        records = [obs(i, ecs="10.0.0.0" if i % 2 else None)
+                   for i in range(20)]
+        assert classify_probing(records).category is ProbingCategory.MIXED
+
+
+class TestPrefixProfile:
+    def test_single_24(self):
+        profile = prefix_length_profile(
+            [obs(i, ecs="10.0.0.0", source_len=24) for i in range(5)])
+        assert profile.v4_lengths == {24}
+        assert profile.jammed_last_byte is None
+        assert profile.table1_label() == "24"
+
+    def test_jammed_detection(self):
+        records = [obs(i, ecs=f"10.0.{i}.1", source_len=32)
+                   for i in range(10)]
+        profile = prefix_length_profile(records)
+        assert profile.jammed_last_byte == 0x01
+        assert profile.table1_label() == "32/jammed last byte"
+
+    def test_jammed_zero(self):
+        records = [obs(i, ecs=f"10.0.{i}.0", source_len=32)
+                   for i in range(10)]
+        assert prefix_length_profile(records).jammed_last_byte == 0x00
+
+    def test_varying_last_byte_not_jammed(self):
+        records = [obs(i, ecs=f"10.0.0.{i + 5}", source_len=32)
+                   for i in range(10)]
+        profile = prefix_length_profile(records)
+        assert profile.jammed_last_byte is None
+        assert profile.table1_label() == "32"
+
+    def test_fixed_but_unusual_byte_not_jammed(self):
+        records = [obs(i, ecs="10.0.0.7", source_len=32) for i in range(10)]
+        assert prefix_length_profile(records).jammed_last_byte is None
+
+    def test_combination_label(self):
+        records = [obs(0, ecs="10.0.0.0", source_len=24),
+                   obs(1, ecs="10.0.1.1", source_len=32),
+                   obs(2, ecs="10.0.2.1", source_len=32)]
+        profile = prefix_length_profile(records)
+        assert profile.table1_label() == "24,32/jammed last byte"
+
+    def test_v6_lengths(self):
+        records = [obs(0, ecs="2001:db8::", source_len=56)]
+        profile = prefix_length_profile(records)
+        assert profile.v6_lengths == {56}
+        assert profile.table1_label() == "56 (IPv6)"
+
+    def test_mixed_families(self):
+        records = [obs(0, ecs="10.0.0.0", source_len=24),
+                   obs(1, ecs="2001:db8::", source_len=48)]
+        assert prefix_length_profile(records).table1_label() == \
+            "24 + 48 (IPv6)"
+
+    def test_no_ecs_profile(self):
+        assert prefix_length_profile([obs(0)]).table1_label() == "none"
+
+
+class TestCachingClassifier:
+    def test_correct(self):
+        outcome = CachingProbeOutcome(True, False, False)
+        assert classify_caching(outcome) is CachingCategory.CORRECT
+
+    def test_ignores_scope(self):
+        outcome = CachingProbeOutcome(False, False, False)
+        assert classify_caching(outcome) is CachingCategory.IGNORES_SCOPE
+
+    def test_over_24(self):
+        outcome = CachingProbeOutcome(True, False, False,
+                                      max_prefix_forwarded=32)
+        assert classify_caching(outcome) is CachingCategory.ACCEPTS_OVER_24
+
+    def test_clamp(self):
+        outcome = CachingProbeOutcome(False, False, False,
+                                      max_prefix_forwarded=22,
+                                      forwarding_clamp=22)
+        assert classify_caching(outcome) is CachingCategory.CLAMPS_AT_22
+
+    def test_private_beats_everything(self):
+        outcome = CachingProbeOutcome(False, False, False,
+                                      max_prefix_forwarded=32,
+                                      sends_private_prefix=True)
+        assert classify_caching(outcome) is CachingCategory.PRIVATE_PREFIX
+
+    def test_unreachable_unclassified(self):
+        assert classify_caching(CachingProbeOutcome()) is \
+            CachingCategory.UNCLASSIFIED
+
+    def test_partial_evidence_unclassified(self):
+        outcome = CachingProbeOutcome(True, True, False)
+        assert classify_caching(outcome) is CachingCategory.UNCLASSIFIED

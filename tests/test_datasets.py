@@ -1,0 +1,236 @@
+"""Tests for workload models, record IO, and the dataset generators."""
+
+import random
+
+import pytest
+
+from repro.core.classify import classify_probing, prefix_length_profile
+from repro.datasets import (AllNamesBuilder, CdnDatasetBuilder,
+                            PublicCdnBuilder, ScanUniverseBuilder,
+                            ZipfSampler, poisson_arrivals, read_jsonl,
+                            write_csv, write_jsonl)
+from repro.datasets.allnames import _sld_of
+from repro.datasets.ditl import count_root_ecs_violators, generate_root_trace
+from repro.datasets.records import AllNamesRecord, CdnQueryRecord, iter_jsonl
+from repro.net import same_prefix
+
+
+class TestZipf:
+    def test_rank_zero_most_likely(self):
+        sampler = ZipfSampler(100, 1.0)
+        rng = random.Random(7)
+        counts = [0] * 100
+        for _ in range(5000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 3 * counts[50]
+
+    def test_all_ranks_reachable(self):
+        sampler = ZipfSampler(5, 0.5)
+        rng = random.Random(1)
+        seen = {sampler.sample(rng) for _ in range(2000)}
+        assert seen == set(range(5))
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_deterministic(self):
+        s = ZipfSampler(50, 1.1)
+        a = [s.sample(random.Random(3)) for _ in range(10)]
+        b = [s.sample(random.Random(3)) for _ in range(10)]
+        assert a == b
+
+
+class TestPoisson:
+    def test_rate_matches(self):
+        ts = poisson_arrivals(10.0, 1000.0, random.Random(5))
+        assert 9000 < len(ts) < 11000
+
+    def test_sorted_in_window(self):
+        ts = poisson_arrivals(1.0, 100.0, random.Random(5), start=50.0)
+        assert ts == sorted(ts)
+        assert all(50 <= t < 150 for t in ts)
+
+    def test_zero_rate(self):
+        assert poisson_arrivals(0, 100, random.Random(1)) == []
+
+
+class TestRecordIO:
+    def test_jsonl_roundtrip(self, tmp_path):
+        records = [AllNamesRecord(1.0, "10.0.0.1", "a.com.", 1, 24, 60),
+                   AllNamesRecord(2.0, "10.0.0.2", "b.com.", 28, 48, 20)]
+        path = tmp_path / "records.jsonl"
+        assert write_jsonl(records, path) == 2
+        loaded = read_jsonl(path, AllNamesRecord)
+        assert loaded == records
+
+    def test_iter_jsonl_streams(self, tmp_path):
+        records = [CdnQueryRecord(float(i), "r", "q.", 1, False)
+                   for i in range(5)]
+        path = tmp_path / "records.jsonl"
+        write_jsonl(records, path)
+        assert list(iter_jsonl(path, CdnQueryRecord)) == records
+
+    def test_csv_header_and_rows(self, tmp_path):
+        records = [AllNamesRecord(1.0, "10.0.0.1", "a.com.", 1, 24, 60)]
+        path = tmp_path / "records.csv"
+        write_csv(records, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("ts,client_ip")
+        assert len(lines) == 2
+
+    def test_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_csv([], path) == 0
+
+
+class TestCdnDataset:
+    def test_population_mix_scaled(self, cdn_dataset):
+        from collections import Counter
+        truth = Counter(s.probing for s in cdn_dataset.resolvers)
+        # ALWAYS dominates, as in the paper (3382 of 4147).
+        assert truth["always_ecs"] > truth["mixed"] > truth["hostname_probes"]
+
+    def test_every_resolver_has_records(self, cdn_dataset):
+        by = cdn_dataset.by_resolver()
+        assert all(by.get(s.ip) for s in cdn_dataset.resolvers)
+
+    def test_records_sorted(self, cdn_dataset):
+        ts = [r.ts for r in cdn_dataset.records]
+        assert ts == sorted(ts)
+
+    def test_classifier_recovers_ground_truth(self, cdn_dataset):
+        by = cdn_dataset.by_resolver()
+        correct = 0
+        for spec in cdn_dataset.resolvers:
+            verdict = classify_probing(by[spec.ip], record_ttl=20)
+            if verdict.category.value == spec.probing:
+                correct += 1
+        assert correct / len(cdn_dataset.resolvers) >= 0.95
+
+    def test_prefix_profiles_match_assignment(self, cdn_dataset):
+        by = cdn_dataset.by_resolver()
+        checked = 0
+        for spec in cdn_dataset.resolvers:
+            if spec.probing != "always_ecs" or spec.is_v6:
+                continue
+            profile = prefix_length_profile(by[spec.ip])
+            assert profile.table1_label() == spec.profile
+            checked += 1
+        assert checked > 5
+
+    def test_dominant_as_is_jammed_chinese(self, cdn_dataset):
+        dominant = [s for s in cdn_dataset.resolvers if s.dominant_as]
+        assert dominant
+        assert all(s.country == "CN" for s in dominant)
+        assert all("jammed" in s.profile for s in dominant)
+
+    def test_v6_resolvers_present(self, cdn_dataset):
+        assert any(s.is_v6 for s in cdn_dataset.resolvers)
+
+    def test_deterministic(self):
+        a = CdnDatasetBuilder(scale=0.005, seed=9, duration_s=600).build()
+        b = CdnDatasetBuilder(scale=0.005, seed=9, duration_s=600).build()
+        assert a.records == b.records
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            CdnDatasetBuilder(scale=0)
+
+
+class TestAllNamesDataset:
+    def test_schema_complete(self, allnames_dataset):
+        record = allnames_dataset.records[0]
+        assert record.client_ip and record.qname.endswith(".")
+        assert record.scope >= 0 and record.ttl > 0
+
+    def test_scope_zero_absent(self, allnames_dataset):
+        # By construction the dataset only holds non-zero-scope responses.
+        assert all(r.scope > 0 for r in allnames_dataset.records)
+
+    def test_sld_policies_stable(self, allnames_dataset):
+        per_sld = {}
+        for record in allnames_dataset.records:
+            sld = _sld_of(record.qname)
+            if record.qtype == 1:
+                per_sld.setdefault(sld, set()).add((record.scope, record.ttl))
+        assert all(len(v) == 1 for v in per_sld.values())
+
+    def test_v6_clients_get_v6_scope(self, allnames_dataset):
+        v6 = [r for r in allnames_dataset.records if ":" in r.client_ip]
+        assert v6 and all(r.scope == 48 for r in v6)
+        assert all(r.qtype == 28 for r in v6)
+
+    def test_duration_respected(self, allnames_dataset):
+        assert max(r.ts for r in allnames_dataset.records) <= \
+            allnames_dataset.duration_s * 1.2
+
+    def test_sld_of(self):
+        assert _sld_of("h1.s00001.com.") == "s00001.com."
+        assert _sld_of("a.b.c.example.org.") == "example.org."
+
+
+class TestPublicCdnDataset:
+    def test_all_records_carry_ecs(self, public_cdn_dataset):
+        assert all(r.ecs_source_len == 24 and r.scope == 24
+                   for r in public_cdn_dataset.records)
+
+    def test_fixed_ttl(self, public_cdn_dataset):
+        assert all(r.ttl == 20 for r in public_cdn_dataset.records)
+
+    def test_heterogeneous_volumes(self, public_cdn_dataset):
+        by = public_cdn_dataset.by_resolver()
+        sizes = sorted(len(v) for v in by.values() if v)
+        assert sizes[-1] > 5 * max(1, sizes[0])
+
+    def test_grouping_covers_all_records(self, public_cdn_dataset):
+        by = public_cdn_dataset.by_resolver()
+        assert sum(len(v) for v in by.values()) == \
+            len(public_cdn_dataset.records)
+
+
+class TestScanUniverse:
+    def test_paired_forwarders_exist_for_specs(self, scan_universe):
+        from itertools import combinations
+        for spec in scan_universe.egress_specs[:5]:
+            chains = scan_universe.chains_for_egress(spec.ip)
+            pairs = [(a, b) for a, b in combinations(chains, 2)
+                     if not a.hidden_ips and not b.hidden_ips
+                     and same_prefix(a.forwarder_ip, b.forwarder_ip, 16)
+                     and not same_prefix(a.forwarder_ip, b.forwarder_ip, 24)]
+            assert pairs
+
+    def test_hidden_fraction_rough(self, scan_universe):
+        with_hidden = sum(1 for c in scan_universe.chains if c.hidden_ips)
+        fraction = with_hidden / len(scan_universe.chains)
+        assert 0.2 < fraction < 0.7
+
+    def test_ground_truth_cities_recorded(self, scan_universe):
+        for chain in scan_universe.chains[:10]:
+            assert chain.forwarder_city
+            city = scan_universe.topology.city_of(chain.forwarder_ip)
+            assert city and city.name == chain.forwarder_city
+
+    def test_deterministic(self):
+        a = ScanUniverseBuilder(seed=3, ingress_count=20).build()
+        b = ScanUniverseBuilder(seed=3, ingress_count=20).build()
+        assert [c.forwarder_ip for c in a.chains] == \
+            [c.forwarder_ip for c in b.chains]
+        assert [s.policy_name for s in a.egress_specs] == \
+            [s.policy_name for s in b.egress_specs]
+
+
+class TestDitl:
+    def test_violator_count_exact(self):
+        trace = generate_root_trace(resolver_count=100, violators=7, seed=2)
+        assert count_root_ecs_violators(trace.records) == 7
+        assert len(trace.violator_ips) == 7
+
+    def test_regular_resolvers_clean(self):
+        trace = generate_root_trace(resolver_count=50, violators=0, seed=2)
+        assert count_root_ecs_violators(trace.records) == 0
+
+    def test_too_many_violators_rejected(self):
+        with pytest.raises(ValueError):
+            generate_root_trace(resolver_count=5, violators=6)

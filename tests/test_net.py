@@ -1,0 +1,334 @@
+"""Tests for the simulated internet: clock, addressing, geo, topology,
+latency, and the wire-level transport."""
+
+import ipaddress
+import random
+
+import pytest
+
+from repro.dnslib import Message, Name, RecordType
+from repro.net import (AddressAllocator, LatencyModel, Network, SimClock,
+                       Topology, city, haversine_km, is_routable, prefix_key,
+                       prefix_text, same_prefix, truncate_address)
+from repro.net.addr import host_in, random_address_in
+from repro.net.geo import GeoDatabase, GeoPoint, WORLD_CITIES, cities_in
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_advance_to_forward_only(self):
+        clock = SimClock(10)
+        clock.advance_to(5)
+        assert clock.now() == 10
+        clock.advance_to(20)
+        assert clock.now() == 20
+
+
+class TestAddr:
+    def test_truncate_24(self):
+        assert str(truncate_address("192.0.2.77", 24)) == "192.0.2.0"
+
+    def test_truncate_0(self):
+        assert str(truncate_address("192.0.2.77", 0)) == "0.0.0.0"
+
+    def test_truncate_v6(self):
+        assert str(truncate_address("2001:db8:abcd::1", 32)) == "2001:db8::"
+
+    def test_truncate_odd_bits(self):
+        assert str(truncate_address("10.0.0.255", 25)) == "10.0.0.128"
+
+    def test_truncate_out_of_range(self):
+        with pytest.raises(ValueError):
+            truncate_address("1.2.3.4", 33)
+
+    def test_prefix_key_groups(self):
+        assert prefix_key("10.1.2.3", 24) == prefix_key("10.1.2.200", 24)
+        assert prefix_key("10.1.2.3", 24) != prefix_key("10.1.3.3", 24)
+
+    def test_prefix_key_family_disjoint(self):
+        assert prefix_key("10.0.0.0", 24) != prefix_key("::a00:0", 24)
+
+    def test_prefix_text(self):
+        assert prefix_text("10.1.2.3", 16) == "10.1.0.0/16"
+
+    def test_same_prefix(self):
+        assert same_prefix("10.1.2.3", "10.1.2.99", 24)
+        assert not same_prefix("10.1.2.3", "10.1.3.3", 24)
+        assert not same_prefix("10.1.2.3", "2001:db8::1", 24)
+
+    def test_is_routable(self):
+        assert is_routable("93.184.216.34")
+        for bad in ("127.0.0.1", "10.0.0.1", "169.254.1.1", "0.0.0.0",
+                    "224.0.0.1"):
+            assert not is_routable(bad)
+
+    def test_host_in(self):
+        assert str(host_in("10.0.0.0/24", 5)) == "10.0.0.5"
+
+    def test_host_in_out_of_range(self):
+        with pytest.raises(ValueError):
+            host_in("10.0.0.0/30", 10)
+
+    def test_random_address_in_bounds(self):
+        rng = random.Random(1)
+        net = ipaddress.ip_network("203.0.113.0/24")
+        for _ in range(50):
+            assert random_address_in(net, rng) in net
+
+
+class TestAllocator:
+    def test_sequential_disjoint(self):
+        alloc = AddressAllocator("10.0.0.0/8")
+        nets = [alloc.subnet(16) for _ in range(4)]
+        for i, a in enumerate(nets):
+            for b in nets[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_alignment_after_smaller_alloc(self):
+        alloc = AddressAllocator("10.0.0.0/8")
+        alloc.subnet(24)
+        big = alloc.subnet(16)
+        assert str(big) == "10.1.0.0/16"
+
+    def test_exhaustion(self):
+        alloc = AddressAllocator("10.0.0.0/30")
+        alloc.subnet(30)
+        with pytest.raises(ValueError):
+            alloc.subnet(30)
+
+    def test_larger_than_supernet_rejected(self):
+        with pytest.raises(ValueError):
+            AddressAllocator("10.0.0.0/16").subnet(8)
+
+
+class TestGeo:
+    def test_haversine_known_distance(self):
+        # Cleveland to Chicago is roughly 500 km.
+        d = city("Cleveland").distance_km(city("Chicago"))
+        assert 400 < d < 550
+
+    def test_haversine_zero(self):
+        assert haversine_km(10, 20, 10, 20) == 0
+
+    def test_haversine_antipodal_bounded(self):
+        assert haversine_km(0, 0, 0, 180) < 20040
+
+    def test_city_lookup(self):
+        assert city("Tokyo").country == "JP"
+
+    def test_unknown_city_raises(self):
+        with pytest.raises(KeyError):
+            city("Atlantis")
+
+    def test_cities_in(self):
+        assert all(c.country == "CN" for c in cities_in("CN"))
+        assert len(cities_in("CN")) >= 3
+
+    def test_geodb_longest_prefix_wins(self):
+        db = GeoDatabase()
+        db.add("10.0.0.0/8", city("London"))
+        db.add("10.1.2.0/24", city("Tokyo"))
+        assert db.locate("10.1.2.3").name == "Tokyo"
+        assert db.locate("10.9.9.9").name == "London"
+
+    def test_geodb_miss(self):
+        assert GeoDatabase().locate("8.8.8.8") is None
+
+    def test_geodb_distance(self):
+        db = GeoDatabase()
+        db.add("10.0.0.0/24", city("Cleveland"))
+        db.add("10.0.1.0/24", city("Chicago"))
+        assert 400 < db.distance_km("10.0.0.5", "10.0.1.5") < 550
+
+    def test_geodb_v6(self):
+        db = GeoDatabase()
+        db.add("2600::/32", city("Paris"))
+        assert db.locate("2600::1").name == "Paris"
+
+
+class TestLatency:
+    def test_monotone_in_distance(self):
+        model = LatencyModel(jitter_fraction=0)
+        assert model.rtt_ms(100) < model.rtt_ms(5000)
+
+    def test_base_at_zero_distance(self):
+        model = LatencyModel(jitter_fraction=0)
+        assert model.rtt_ms(0) == model.base_ms
+
+    def test_jitter_bounded(self):
+        model = LatencyModel(jitter_fraction=0.05)
+        rng = random.Random(3)
+        base = LatencyModel(jitter_fraction=0).rtt_ms(1000)
+        for _ in range(100):
+            assert abs(model.rtt_ms(1000, rng) - base) <= base * 0.05 + 1e-9
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel().rtt_ms(-1)
+
+    def test_transatlantic_regime(self):
+        # London-New York (~5 500 km) should be on the order of 100 ms.
+        model = LatencyModel(jitter_fraction=0)
+        rtt = model.rtt_between(city("London").point, city("New York").point)
+        assert 60 < rtt < 200
+
+
+class TestTopology:
+    def test_as_hosts_geolocated(self):
+        topo = Topology()
+        as_ = topo.create_as("test", "US")
+        ip = as_.host_in(city("Seattle"))
+        assert topo.city_of(ip).name == "Seattle"
+        assert topo.as_of(ip) is as_
+
+    def test_hosts_unique(self):
+        topo = Topology()
+        as_ = topo.create_as("test", "US")
+        ips = {as_.host_in(city("Seattle")) for _ in range(300)}
+        assert len(ips) == 300
+
+    def test_new_subnet_hosts_differ_at_24(self):
+        topo = Topology()
+        as_ = topo.create_as("test", "US")
+        a = as_.host_in_new_subnet(city("Miami"))
+        b = as_.host_in_new_subnet(city("Miami"))
+        assert same_prefix(a, b, 16)
+        assert not same_prefix(a, b, 24)
+
+    def test_v6_hosts(self):
+        topo = Topology()
+        as_ = topo.create_as("test6", "US")
+        ip = as_.host6_in(city("Denver"))
+        assert ":" in ip
+        assert topo.city_of(ip).name == "Denver"
+
+    def test_distance_km(self):
+        topo = Topology()
+        as_ = topo.create_as("t", "US")
+        a = as_.host_in(city("Cleveland"))
+        b = as_.host_in(city("Chicago"))
+        assert 400 < topo.distance_km(a, b) < 550
+
+    def test_duplicate_asn_rejected(self):
+        topo = Topology()
+        topo.create_as("a", "US", asn=100)
+        with pytest.raises(ValueError):
+            topo.create_as("b", "US", asn=100)
+
+    def test_rtt_uses_default_for_unknown(self):
+        topo = Topology()
+        assert topo.rtt_ms("1.1.1.1", "2.2.2.2") > 0
+
+
+class _Echo:
+    """Endpoint answering every query with an empty NOERROR response."""
+
+    def __init__(self, ip):
+        self.ip = ip
+        self.seen = 0
+
+    def handle_datagram(self, wire, src_ip, net, tcp=False):
+        from repro.dnslib import decode_message, encode_message
+        self.seen += 1
+        return encode_message(decode_message(wire).make_response())
+
+
+class TestTransport:
+    def _net(self):
+        topo = Topology()
+        net = Network(topo)
+        as_ = topo.create_as("t", "US")
+        a = as_.host_in(city("Cleveland"))
+        b = as_.host_in(city("Tokyo"))
+        return net, a, b
+
+    def test_query_roundtrip(self):
+        net, a, b = self._net()
+        echo = _Echo(b)
+        net.attach(echo)
+        out = net.query(a, b, Message.make_query(Name.from_text("x."),
+                                                 RecordType.A))
+        assert out.response is not None and out.response.is_response
+        assert echo.seen == 1
+
+    def test_elapsed_reflects_distance(self):
+        net, a, b = self._net()
+        net.attach(_Echo(b))
+        out = net.query(a, b, Message.make_query(Name.from_text("x."),
+                                                 RecordType.A))
+        # Cleveland-Tokyo is ~10 000 km; RTT should exceed 100 ms.
+        assert out.elapsed_ms > 100
+
+    def test_clock_advances(self):
+        net, a, b = self._net()
+        net.attach(_Echo(b))
+        before = net.clock.now()
+        net.query(a, b, Message.make_query(Name.from_text("x."), RecordType.A))
+        assert net.clock.now() > before
+
+    def test_unknown_destination_times_out(self):
+        net, a, b = self._net()
+        out = net.query(a, "9.9.9.9", Message.make_query(
+            Name.from_text("x."), RecordType.A))
+        assert out.timed_out and out.response is None
+        assert net.stats.timeouts == 1
+
+    def test_loss_injection(self):
+        net, a, b = self._net()
+        net.attach(_Echo(b))
+        net.set_loss(b, 1.0)
+        out = net.query(a, b, Message.make_query(Name.from_text("x."),
+                                                 RecordType.A))
+        assert out.timed_out
+        assert net.stats.drops == 1
+
+    def test_filter_injection(self):
+        net, a, b = self._net()
+        net.attach(_Echo(b))
+        net.add_filter(lambda src, dst, wire: dst == b)
+        out = net.query(a, b, Message.make_query(Name.from_text("x."),
+                                                 RecordType.A))
+        assert out.timed_out
+
+    def test_stats_counting(self):
+        net, a, b = self._net()
+        net.attach(_Echo(b))
+        for _ in range(3):
+            net.query(a, b, Message.make_query(Name.from_text("x."),
+                                               RecordType.A))
+        assert net.stats.datagrams == 3
+        assert net.stats.per_destination[b] == 3
+        assert net.stats.bytes_sent > 0
+
+    def test_ping_average_positive(self):
+        net, a, b = self._net()
+        assert net.ping_ms(a, b, count=8) > 100
+
+    def test_ping_zero_count_rejected(self):
+        net, a, b = self._net()
+        with pytest.raises(ValueError):
+            net.ping_ms(a, b, count=0)
+
+    def test_tcp_handshake_scales_with_distance(self):
+        net, a, b = self._net()
+        topo_as = net.topology.create_as("near", "US")
+        near = topo_as.host_in(city("Cleveland"))
+        assert net.tcp_handshake_ms(a, near) < net.tcp_handshake_ms(a, b)
+
+    def test_detach(self):
+        net, a, b = self._net()
+        net.attach(_Echo(b))
+        net.detach(b)
+        assert net.endpoint_at(b) is None
