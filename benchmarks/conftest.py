@@ -9,6 +9,7 @@ stable; they remain far below the paper's real datasets.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -19,11 +20,39 @@ from repro.measure import Scanner
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Where the engine throughput numbers land (records/sec at workers=1/4).
+BENCH_ENGINE_JSON = RESULTS_DIR / "BENCH_engine.json"
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark everything under benchmarks/ so ``-m "not bench"`` skips it.
+
+    The tier-1 suite (``testpaths = tests``) never collects these; the
+    marker keeps combined runs (``pytest tests benchmarks``) splittable.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
 
 @pytest.fixture(scope="session")
 def report_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def engine_bench(report_dir):
+    """Collects engine throughput samples; written to BENCH_engine.json.
+
+    Benchmark tests drop ``name -> {records, seconds, records_per_second}``
+    entries in; the file is (re)written at session teardown so the repo
+    keeps a machine-readable perf trajectory across PRs.
+    """
+    samples = {}
+    yield samples
+    if samples:
+        BENCH_ENGINE_JSON.write_text(json.dumps(samples, indent=2,
+                                                sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

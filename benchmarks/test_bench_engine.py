@@ -1,0 +1,66 @@
+"""Engine throughput benchmark: records/sec at workers=1 vs workers=4.
+
+Measures the sharded generate and replay paths at both worker counts,
+asserts the determinism contract holds at bench scale, and records the
+throughput samples into ``benchmarks/results/BENCH_engine.json`` (via
+the ``engine_bench`` fixture) — the repo's perf trajectory for the
+sharded pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import AllNamesBuilder, PublicCdnBuilder
+from repro.engine import DEFAULT_SHARDS
+from repro.engine.generate import generate_dataset
+from repro.engine.replay import replay_sharded
+
+WORKER_COUNTS = (1, 4)
+
+
+def _record(engine_bench, name: str, report) -> None:
+    engine_bench[name] = {
+        "records": report.total_records,
+        "seconds": round(report.wall_seconds, 4),
+        "records_per_second": round(report.records_per_second, 1),
+        "shards": len(report.shards),
+        "workers": report.workers,
+    }
+
+
+@pytest.mark.engine
+def test_engine_generate_throughput(engine_bench, save_report):
+    datasets = {}
+    reports = {}
+    for workers in WORKER_COUNTS:
+        builder = AllNamesBuilder(scale=0.5, seed=42)
+        dataset, report = generate_dataset(builder, shards=DEFAULT_SHARDS,
+                                           workers=workers)
+        datasets[workers] = dataset
+        reports[workers] = report
+        _record(engine_bench, f"generate_allnames_workers{workers}", report)
+    # The determinism contract, at bench scale.
+    assert datasets[1].records == datasets[4].records
+    assert reports[1].total_records == len(datasets[1].records)
+    save_report("engine_generate_throughput",
+                "\n\n".join(reports[w].report() for w in WORKER_COUNTS))
+
+
+@pytest.mark.engine
+def test_engine_replay_throughput(engine_bench, save_report):
+    builder = PublicCdnBuilder(scale=0.01, seed=42, duration_s=1800.0)
+    dataset, _ = generate_dataset(builder, shards=DEFAULT_SHARDS, workers=1)
+    results = {}
+    reports = {}
+    for workers in WORKER_COUNTS:
+        result, report = replay_sharded(dataset.records, "public-cdn",
+                                        shards=DEFAULT_SHARDS,
+                                        workers=workers)
+        results[workers] = result
+        reports[workers] = report
+        _record(engine_bench, f"replay_public_cdn_workers{workers}", report)
+    assert results[1] == results[4]
+    assert results[1].blowup >= 1.0
+    save_report("engine_replay_throughput",
+                "\n\n".join(reports[w].report() for w in WORKER_COUNTS))

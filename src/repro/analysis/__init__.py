@@ -1,8 +1,9 @@
 """Per-section analyses reproducing the paper's tables and figures."""
 
-from .cache_sim import (ReplayResult, allnames_replay, cdf_points,
-                        fig1_series, fig2_series, fig3_series, percentile,
-                        public_cdn_blowups, replay)
+from .cache_sim import (ReplayPartial, ReplayResult, allnames_replay,
+                        cdf_points, fig1_series, fig2_series, fig3_series,
+                        merge_partials, percentile, public_cdn_blowups,
+                        replay, replay_partial)
 from .caching_behavior import (CachingBehaviorAnalysis,
                                analyze_caching_behavior)
 from .discovery import DiscoveryAnalysis, analyze_discovery
@@ -34,7 +35,7 @@ __all__ = [
     "FlatteningLab", "FlatteningTimings", "HiddenCombination",
     "HiddenResolverAnalysis", "MappingQualityLab", "PrefixLengthSeries",
     "PoisoningOutcome", "PrivacyOutcome", "PrivacyStudy",
-    "ProbingAnalysis", "ReplayResult", "ResolverOutcome",
+    "ProbingAnalysis", "ReplayPartial", "ReplayResult", "ResolverOutcome",
     "RootViolationAnalysis", "Table1", "Table2", "UnroutableLab",
     "WhitelistComparison", "allnames_replay",
     "analyze_caching_behavior", "analyze_discovery",
@@ -46,7 +47,8 @@ __all__ = [
     "export_fig45", "export_fig67",
     "cdn_prefix_profiles", "crossover_prefix_length", "fig1_series",
     "fig2_series", "fig3_series", "format_comparisons", "format_table",
-    "measure_mapping_quality", "percentile", "public_cdn_blowups", "replay",
+    "measure_mapping_quality", "merge_partials", "percentile",
+    "public_cdn_blowups", "replay", "replay_partial",
     "run_flattening_case_study", "run_table2", "run_whitelist_comparison",
     "scan_prefix_profiles",
     "summarize_allnames", "summarize_cdn", "summarize_public_cdn",

@@ -36,8 +36,55 @@ class ReplayResult:
         return self.max_size_ecs / self.max_size_no_ecs
 
 
-def replay(records: Iterable, client_of, scope_of, ttl_of) -> ReplayResult:
-    """Run the paired with/without-ECS replay over one record stream."""
+@dataclass(frozen=True)
+class ReplayPartial:
+    """Raw counters of one replay shard, mergeable into a ReplayResult.
+
+    Every field is an integer that sums across shards: hit/miss counters
+    add exactly when the trace is partitioned along cache-key boundaries
+    (e.g. by qname), and peak sizes add because shard caches are
+    disjoint — the merged peak is the sum of per-shard peaks, exact
+    whenever shard occupancies peak together (true of the paper's
+    steady-state traces).  Field-wise addition makes the merge
+    associative, commutative, and possessed of an all-zero identity, so
+    shard order never matters.
+    """
+
+    hits_ecs: int = 0
+    misses_ecs: int = 0
+    hits_no_ecs: int = 0
+    misses_no_ecs: int = 0
+    max_size_ecs: int = 0
+    max_size_no_ecs: int = 0
+
+    @property
+    def queries(self) -> int:
+        """Records replayed in this shard."""
+        return self.hits_ecs + self.misses_ecs
+
+    def merge(self, other: "ReplayPartial") -> "ReplayPartial":
+        """Combine two shard partials (field-wise sum)."""
+        return ReplayPartial(
+            self.hits_ecs + other.hits_ecs,
+            self.misses_ecs + other.misses_ecs,
+            self.hits_no_ecs + other.hits_no_ecs,
+            self.misses_no_ecs + other.misses_no_ecs,
+            self.max_size_ecs + other.max_size_ecs,
+            self.max_size_no_ecs + other.max_size_no_ecs)
+
+    def result(self) -> ReplayResult:
+        """Collapse the counters into the rate-based result."""
+        total_ecs = self.hits_ecs + self.misses_ecs
+        total_plain = self.hits_no_ecs + self.misses_no_ecs
+        return ReplayResult(
+            self.max_size_ecs, self.max_size_no_ecs,
+            self.hits_ecs / total_ecs if total_ecs else 0.0,
+            self.hits_no_ecs / total_plain if total_plain else 0.0)
+
+
+def replay_partial(records: Iterable, client_of, scope_of,
+                   ttl_of) -> ReplayPartial:
+    """Replay one record stream, keeping raw counters for merging."""
     ecs = ScopeTracker(use_ecs=True)
     plain = ScopeTracker(use_ecs=False)
     for r in records:
@@ -46,8 +93,21 @@ def replay(records: Iterable, client_of, scope_of, ttl_of) -> ReplayResult:
         ttl = ttl_of(r)
         ecs.access(r.ts, r.qname, r.qtype, client, scope, ttl)
         plain.access(r.ts, r.qname, r.qtype, None, 0, ttl)
-    return ReplayResult(ecs.max_size, plain.max_size,
-                        ecs.hit_rate(), plain.hit_rate())
+    return ReplayPartial(ecs.hits, ecs.misses, plain.hits, plain.misses,
+                         ecs.max_size, plain.max_size)
+
+
+def merge_partials(partials: Iterable[ReplayPartial]) -> ReplayResult:
+    """Fold shard partials into one ReplayResult (order-independent)."""
+    merged = ReplayPartial()
+    for partial in partials:
+        merged = merged.merge(partial)
+    return merged.result()
+
+
+def replay(records: Iterable, client_of, scope_of, ttl_of) -> ReplayResult:
+    """Run the paired with/without-ECS replay over one record stream."""
+    return replay_partial(records, client_of, scope_of, ttl_of).result()
 
 
 # ---------------------------------------------------------------------------

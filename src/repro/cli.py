@@ -17,7 +17,11 @@ replay      run the section 7 cache replay over a saved JSONL trace
 all         every analysis command, sequentially
 
 Every command accepts ``--seed`` and a size knob and writes rendered
-reports to ``--out`` (default: print to stdout only).
+reports to ``--out`` (default: print to stdout only); ``--quiet``
+silences stdout.  ``generate``, ``blowup``, ``replay`` and ``all`` also
+take ``--workers N`` / ``--shards K``: work is split into K
+deterministically-seeded shards executed on N processes, and the merged
+output is byte-identical for every N (see ``docs/engine.md``).
 """
 
 from __future__ import annotations
@@ -37,27 +41,49 @@ from .analysis.mapping_quality import (MappingQualityLab,
                                        crossover_prefix_length,
                                        measure_mapping_quality)
 from .analysis.unroutable import UnroutableLab
-from .analysis.cache_sim import replay
 from .datasets import (AllNamesBuilder, CdnDatasetBuilder, PublicCdnBuilder,
-                       ScanUniverseBuilder, read_jsonl, write_jsonl)
+                       ScanUniverseBuilder, merge_jsonl_shards, read_jsonl,
+                       write_jsonl_shards)
 from .datasets.ditl import generate_root_trace
 from .datasets.records import AllNamesRecord, CdnQueryRecord, PublicCdnRecord
+from .engine import DEFAULT_SHARDS, generate_dataset, generate_records
+from .engine.replay import replay_sharded
 from .measure import Scanner
 
 
 class _Reporter:
     """Collects report sections, printing and optionally saving them."""
 
-    def __init__(self, out_dir: Optional[str]):
+    def __init__(self, out_dir: Optional[str], quiet: bool = False):
         self.out_dir = Path(out_dir) if out_dir else None
+        self.quiet = quiet
         if self.out_dir:
             self.out_dir.mkdir(parents=True, exist_ok=True)
 
     def emit(self, name: str, text: str) -> None:
-        print(text)
-        print()
+        """Render one report section to stdout and (optionally) a file.
+
+        ``name`` may contain ``/`` separators; parent directories are
+        created per file, so nested layouts like ``fig/1`` just work.
+        """
+        if not self.quiet:
+            print(text)
+            print()
         if self.out_dir:
-            (self.out_dir / f"{name}.txt").write_text(text + "\n")
+            path = self.out_dir / f"{name}.txt"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text + "\n")
+
+    def note(self, text: str) -> None:
+        """Print an incidental status line (never written to files).
+
+        Engine throughput and progress lines go through here so shard
+        timing — which varies run to run — can never leak into the
+        deterministic report files, and ``--quiet`` silences them in
+        shard workers.
+        """
+        if not self.quiet:
+            print(text)
 
 
 def cmd_scan(args: argparse.Namespace, reporter: _Reporter) -> None:
@@ -94,15 +120,20 @@ def cmd_caching(args: argparse.Namespace, reporter: _Reporter) -> None:
 
 def cmd_blowup(args: argparse.Namespace, reporter: _Reporter) -> None:
     """The section 7 cache replays: Figures 1, 2 and 3."""
-    public_cdn = PublicCdnBuilder(scale=args.scale, seed=args.seed,
-                                  duration_s=args.hours * 3600.0).build()
+    builder = PublicCdnBuilder(scale=args.scale, seed=args.seed,
+                               duration_s=args.hours * 3600.0)
+    public_cdn, engine_report = generate_dataset(builder, shards=args.shards,
+                                                 workers=args.workers)
+    reporter.note(engine_report.summary())
     series = fig1_series(public_cdn, ttls=(20, 40, 60))
     reporter.emit("fig1", cdf_table(
         {f"TTL {t}s": v for t, v in series.items()},
         title="Figure 1 — cache blow-up factor CDF"))
 
-    allnames = AllNamesBuilder(scale=args.allnames_scale,
-                               seed=args.seed).build()
+    allnames, engine_report = generate_dataset(
+        AllNamesBuilder(scale=args.allnames_scale, seed=args.seed),
+        shards=args.shards, workers=args.workers)
+    reporter.note(engine_report.summary())
     fractions = (0.1, 0.25, 0.5, 0.75, 1.0)
     f2 = fig2_series(allnames, fractions=fractions, seeds=(1, 2))
     reporter.emit("fig2", format_table(
@@ -135,36 +166,48 @@ def cmd_pitfalls(args: argparse.Namespace, reporter: _Reporter) -> None:
 
 
 def cmd_generate(args: argparse.Namespace, reporter: _Reporter) -> None:
-    """Write one synthetic dataset to a JSONL trace file."""
+    """Write one synthetic dataset to a JSONL trace file.
+
+    Generation is sharded through :mod:`repro.engine`: each shard's
+    records land in a ``<file>.shardNN`` sibling, then an order-stable
+    merge produces the final trace and removes the shard files.  The
+    merged bytes are identical for any ``--workers`` value.
+    """
     if args.dataset == "allnames":
-        dataset = AllNamesBuilder(scale=args.scale, seed=args.seed).build()
-        records = dataset.records
+        builder = AllNamesBuilder(scale=args.scale, seed=args.seed)
     elif args.dataset == "public-cdn":
-        dataset = PublicCdnBuilder(scale=args.scale, seed=args.seed,
-                                   duration_s=args.hours * 3600.0).build()
-        records = dataset.records
+        builder = PublicCdnBuilder(scale=args.scale, seed=args.seed,
+                                   duration_s=args.hours * 3600.0)
     else:  # cdn
-        dataset = CdnDatasetBuilder(scale=args.scale, seed=args.seed,
-                                    duration_s=args.hours * 3600.0).build()
-        records = dataset.records
-    count = write_jsonl(records, args.file)
-    print(f"wrote {count} {args.dataset} records to {args.file}")
+        builder = CdnDatasetBuilder(scale=args.scale, seed=args.seed,
+                                    duration_s=args.hours * 3600.0)
+    shard_lists, engine_report = generate_records(
+        builder, shards=args.shards, workers=args.workers)
+    out = Path(args.file)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    paths = write_jsonl_shards(shard_lists, out)
+    count = merge_jsonl_shards(paths, out)
+    for path in paths:
+        path.unlink()
+    reporter.note(engine_report.summary())
+    reporter.note(f"wrote {count} {args.dataset} records to {args.file}")
 
 
 def cmd_replay(args: argparse.Namespace, reporter: _Reporter) -> None:
-    """Run the section 7 cache replay over a saved JSONL trace."""
+    """Run the section 7 cache replay over a saved JSONL trace.
+
+    The trace is partitioned by qname into ``--shards`` shards replayed
+    on ``--workers`` processes; per-shard partials merge into one
+    result, byte-identical for any worker count.
+    """
     if args.dataset == "allnames":
         records = read_jsonl(args.file, AllNamesRecord)
-        result = replay(records,
-                        client_of=lambda r: r.client_ip,
-                        scope_of=lambda r: r.scope,
-                        ttl_of=lambda r: r.ttl)
     else:  # public-cdn
         records = read_jsonl(args.file, PublicCdnRecord)
-        result = replay(records,
-                        client_of=lambda r: r.ecs_address,
-                        scope_of=lambda r: r.scope,
-                        ttl_of=lambda r: r.ttl)
+    result, engine_report = replay_sharded(records, args.dataset,
+                                           shards=args.shards,
+                                           workers=args.workers)
+    reporter.note(engine_report.summary())
     reporter.emit("replay", format_table(
         ("metric", "value"),
         [("records replayed", len(records)),
@@ -203,7 +246,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="deterministic seed for every generator")
     parser.add_argument("--out", default=None,
                         help="directory to write rendered reports into")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress stdout (reports still write to --out);"
+                             " keeps shard workers from interleaving output")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def positive_int(value: str) -> int:
+        parsed = int(value)
+        if parsed < 1:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive integer, got {value!r}")
+        return parsed
+
+    def add_engine_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--workers", type=positive_int, default=1,
+                         help="worker processes for sharded execution "
+                              "(output is byte-identical for any value)")
+        cmd.add_argument("--shards", type=positive_int, default=DEFAULT_SHARDS,
+                         help="shard count; part of the experiment's "
+                              "identity, independent of --workers")
 
     scan = sub.add_parser("scan", help="active scan campaign (sections 4/5/8.2)")
     scan.add_argument("--ingress", type=int, default=300,
@@ -225,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Public Resolver/CDN scale")
     blowup.add_argument("--allnames-scale", type=float, default=0.3)
     blowup.add_argument("--hours", type=float, default=0.5)
+    add_engine_flags(blowup)
 
     pitfalls = sub.add_parser("pitfalls", help="section 8 labs")
     pitfalls.add_argument("--probes", type=int, default=120,
@@ -237,11 +299,13 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("file", help="output JSONL path")
     generate.add_argument("--scale", type=float, default=0.05)
     generate.add_argument("--hours", type=float, default=1.0)
+    add_engine_flags(generate)
 
     replay_cmd = sub.add_parser("replay",
                                 help="cache replay over a saved trace")
     replay_cmd.add_argument("dataset", choices=("allnames", "public-cdn"))
     replay_cmd.add_argument("file", help="input JSONL path")
+    add_engine_flags(replay_cmd)
 
     all_cmd = sub.add_parser("all", help="run every command")
     all_cmd.add_argument("--ingress", type=int, default=200)
@@ -249,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     all_cmd.add_argument("--allnames-scale", type=float, default=0.2)
     all_cmd.add_argument("--hours", type=float, default=0.5)
     all_cmd.add_argument("--probes", type=int, default=100)
+    add_engine_flags(all_cmd)
     return parser
 
 
@@ -256,10 +321,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    reporter = _Reporter(args.out)
+    reporter = _Reporter(args.out, quiet=args.quiet)
     if args.command == "all":
         for name, command in _ANALYSIS_COMMANDS.items():
-            print(f"### {name}\n")
+            reporter.note(f"### {name}\n")
             command(args, reporter)
         return 0
     _COMMANDS[args.command](args, reporter)

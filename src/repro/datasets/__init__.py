@@ -3,21 +3,26 @@
 from . import paper_numbers
 from .allnames import AllNamesBuilder, AllNamesDataset
 from .cdn_dataset import CdnDataset, CdnDatasetBuilder, ResolverSpec
+from .ditl import RootTrace, RootTraceBuilder, generate_root_trace
 from .public_cdn import PublicCdnBuilder, PublicCdnDataset
 from .records import (AllNamesRecord, CdnQueryRecord, PublicCdnRecord,
                       RootQueryRecord, ScanQueryRecord, iter_jsonl,
-                      read_jsonl, write_csv, write_jsonl)
+                      merge_jsonl_shards, read_jsonl, shard_path, write_csv,
+                      write_jsonl, write_jsonl_shards)
 from .scan_dataset import (ChainSpec, EgressSpec, ScanUniverse,
                            ScanUniverseBuilder)
 from .workload import (ClientPopulation, HostnameUniverse, SldPolicy,
-                       ZipfSampler, assign_sld_policies, poisson_arrivals)
+                       ZipfSampler, assign_sld_policies,
+                       merge_sorted_records, poisson_arrivals)
 
 __all__ = [
     "AllNamesBuilder", "AllNamesDataset", "AllNamesRecord", "CdnDataset",
     "CdnDatasetBuilder", "CdnQueryRecord", "ChainSpec", "ClientPopulation",
     "EgressSpec", "HostnameUniverse", "PublicCdnBuilder", "PublicCdnDataset",
-    "PublicCdnRecord", "ResolverSpec", "RootQueryRecord", "ScanQueryRecord",
-    "ScanUniverse", "ScanUniverseBuilder", "SldPolicy", "ZipfSampler",
-    "assign_sld_policies", "iter_jsonl", "paper_numbers", "poisson_arrivals",
-    "read_jsonl", "write_csv", "write_jsonl",
+    "PublicCdnRecord", "ResolverSpec", "RootQueryRecord", "RootTrace",
+    "RootTraceBuilder", "ScanQueryRecord", "ScanUniverse",
+    "ScanUniverseBuilder", "SldPolicy", "ZipfSampler", "assign_sld_policies",
+    "generate_root_trace", "iter_jsonl", "merge_jsonl_shards",
+    "merge_sorted_records", "paper_numbers", "poisson_arrivals", "read_jsonl",
+    "shard_path", "write_csv", "write_jsonl", "write_jsonl_shards",
 ]

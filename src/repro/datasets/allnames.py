@@ -19,8 +19,10 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from ..engine.seeding import derive_seed, world_seed
+from ..engine.sharding import shard_bounds
 from .records import AllNamesRecord
-from .workload import SldPolicy, ZipfSampler
+from .workload import SldPolicy, ZipfSampler, merge_sorted_records
 
 #: Authoritative scope mixture (scope bits, weight): most ECS adopters
 #: tailor at /24, some coarser, a few echo the full source length.
@@ -143,5 +145,72 @@ class AllNamesBuilder:
                 scope = policy.scope
             records.append(AllNamesRecord(t, client, hostname, qtype,
                                           scope, policy.ttl))
+        return AllNamesDataset(records, clients, hostnames, policies,
+                               self.duration_s)
+
+    # -- sharded generation (repro.engine) ---------------------------------
+
+    _SEED_NS = "allnames"
+
+    def _world(self) -> Tuple[List[str], Dict[str, SldPolicy], _Clients]:
+        """Shard-independent structures, seeded only by the root seed.
+
+        Every shard rebuilds the same world (it is tiny next to the query
+        stream), so shard workers need no shared state.
+        """
+        rng = random.Random(world_seed(self.seed, self._SEED_NS))
+        sld_count = max(2, self.hostname_count // 7)
+        hostnames = [f"h{i}.s{i % sld_count:05d}.com."
+                     for i in range(self.hostname_count)]
+        policies = self._policies(sorted({_sld_of(h) for h in hostnames}), rng)
+        clients = self._clients(rng)
+        return hostnames, policies, clients
+
+    def shard_units(self) -> int:
+        """The unit universe sharded over: individual queries."""
+        return self.total_queries
+
+    def build_shard(self, shard_index: int,
+                    shard_count: int) -> List[AllNamesRecord]:
+        """Generate the queries of one shard (a contiguous time window).
+
+        Shard ``i`` of ``n`` emits the queries with global indices in
+        ``shard_bounds(total_queries, n)[i]``, starting its clock at the
+        window boundary; its random stream is seeded by
+        ``derive_seed(seed, i)`` so output depends only on the shard
+        decomposition, never on the worker that ran it.
+        """
+        hostnames, policies, clients = self._world()
+        all_clients = clients.all_clients
+        name_sampler = ZipfSampler(len(hostnames), self.zipf_alpha)
+        client_sampler = ZipfSampler(len(all_clients), self.client_alpha)
+        lo, hi = shard_bounds(self.total_queries, shard_count)[shard_index]
+
+        rng = random.Random(derive_seed(self.seed, shard_index,
+                                        self._SEED_NS))
+        step = self.duration_s / self.total_queries
+        t = lo * step
+        records: List[AllNamesRecord] = []
+        for _ in range(lo, hi):
+            t += rng.expovariate(1.0) * step
+            hostname = hostnames[name_sampler.sample(rng)]
+            policy = policies[_sld_of(hostname)]
+            client = all_clients[client_sampler.sample(rng)]
+            if ":" in client:
+                qtype = 28
+                scope = 0 if policy.scope == 0 else 48
+            else:
+                qtype = 1
+                scope = policy.scope
+            records.append(AllNamesRecord(t, client, hostname, qtype,
+                                          scope, policy.ttl))
+        return records
+
+    def assemble(self,
+                 shard_records: Sequence[List[AllNamesRecord]]
+                 ) -> AllNamesDataset:
+        """Order-stable merge of shard outputs into a full dataset."""
+        hostnames, policies, clients = self._world()
+        records = merge_sorted_records(shard_records)
         return AllNamesDataset(records, clients, hostnames, policies,
                                self.duration_s)

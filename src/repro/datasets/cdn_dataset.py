@@ -18,9 +18,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..engine.seeding import derive_seed, world_seed
+from ..engine.sharding import shard_bounds
 from . import paper_numbers as paper
 from .records import CdnQueryRecord
-from .workload import ZipfSampler, poisson_arrivals
+from .workload import ZipfSampler, merge_sorted_records, poisson_arrivals
 
 #: (category label, paper count) — the section 6.1 buckets.
 PROBING_MIX: Tuple[Tuple[str, int], ...] = (
@@ -255,3 +257,45 @@ class CdnDatasetBuilder:
             records.extend(self._emit(spec, hostnames, zipf, rng))
         records.sort(key=lambda r: r.ts)
         return CdnDataset(records, specs, hostnames, self.duration_s)
+
+    # -- sharded generation (repro.engine) ---------------------------------
+
+    _SEED_NS = "cdn"
+
+    def _hostnames(self) -> List[str]:
+        return [f"e{i:04d}.cdn.example." for i in range(self.hostname_count)]
+
+    def _world_specs(self) -> List[ResolverSpec]:
+        """The resolver population, identical in every shard.
+
+        Seeded only by the root seed, so shard workers rebuild the exact
+        same ground truth without any shared state.
+        """
+        rng = random.Random(world_seed(self.seed, self._SEED_NS))
+        return self._build_resolvers(rng)
+
+    def shard_units(self) -> int:
+        """The unit universe sharded over: resolvers."""
+        return len(self._world_specs())
+
+    def build_shard(self, shard_index: int,
+                    shard_count: int) -> List[CdnQueryRecord]:
+        """Emit the streams of one contiguous slice of the population."""
+        specs = self._world_specs()
+        hostnames = self._hostnames()
+        zipf = ZipfSampler(len(hostnames), alpha=1.0)
+        lo, hi = shard_bounds(len(specs), shard_count)[shard_index]
+        rng = random.Random(derive_seed(self.seed, shard_index,
+                                        self._SEED_NS))
+        records: List[CdnQueryRecord] = []
+        for spec in specs[lo:hi]:
+            records.extend(self._emit(spec, hostnames, zipf, rng))
+        records.sort(key=lambda r: r.ts)
+        return records
+
+    def assemble(self,
+                 shard_records: Sequence[List[CdnQueryRecord]]) -> CdnDataset:
+        """Order-stable merge of shard outputs into a full dataset."""
+        records = merge_sorted_records(shard_records)
+        return CdnDataset(records, self._world_specs(), self._hostnames(),
+                          self.duration_s)

@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
+from ..engine.seeding import derive_seed
+from ..engine.sharding import shard_bounds
 from . import paper_numbers as paper
 from .records import PublicCdnRecord
-from .workload import ZipfSampler, poisson_arrivals
+from .workload import ZipfSampler, merge_sorted_records, poisson_arrivals
 
 
 @dataclass
@@ -61,30 +63,76 @@ class PublicCdnBuilder:
         self.volume_spread_decades = volume_spread_decades
         self.subnet_multiplier = subnet_multiplier
 
+    def resolver_count(self) -> int:
+        return max(4, round(paper.PUBLIC_CDN_RESOLVER_IPS * self.scale))
+
+    @staticmethod
+    def _resolver_ip(r: int) -> str:
+        return f"8.{(r >> 8) & 0xFF}.{r & 0xFF}.53"
+
+    def _emit_resolver(self, r: int, hostnames: Sequence[str],
+                       zipf: ZipfSampler, rng: random.Random,
+                       records: List[PublicCdnRecord]) -> None:
+        """Append one egress resolver's query stream to ``records``."""
+        ip = self._resolver_ip(r)
+        # Log-uniform volume: busy front-line resolvers vs near-idle ones.
+        spread = self.volume_spread_decades
+        qps = self.mean_qps * (10.0 ** rng.uniform(-spread, spread))
+        # Client diversity grows with volume (busier egress = more
+        # front-ends routing to it = more client subnets).
+        lo, hi = self.subnet_multiplier
+        subnet_count = max(1, int(qps / self.mean_qps * rng.uniform(lo, hi)))
+        subnets = [f"{rng.randrange(90, 120)}.{rng.randrange(256)}"
+                   f".{rng.randrange(256)}.0" for _ in range(subnet_count)]
+        for ts in poisson_arrivals(qps, self.duration_s, rng):
+            subnet = rng.choice(subnets)
+            hostname = hostnames[zipf.sample(rng)]
+            records.append(PublicCdnRecord(
+                ts, ip, hostname, 1, subnet, 24, 24, self.ttl))
+
     def build(self) -> PublicCdnDataset:
         rng = random.Random(self.seed)
-        resolver_count = max(4, round(paper.PUBLIC_CDN_RESOLVER_IPS * self.scale))
+        resolver_count = self.resolver_count()
         hostnames = [f"a{i:04d}.cdn.example." for i in range(self.hostname_count)]
         zipf = ZipfSampler(len(hostnames), self.zipf_alpha)
 
         records: List[PublicCdnRecord] = []
         resolver_ips: List[str] = []
         for r in range(resolver_count):
-            ip = f"8.{(r >> 8) & 0xFF}.{r & 0xFF}.53"
-            resolver_ips.append(ip)
-            # Log-uniform volume: busy front-line resolvers vs near-idle ones.
-            spread = self.volume_spread_decades
-            qps = self.mean_qps * (10.0 ** rng.uniform(-spread, spread))
-            # Client diversity grows with volume (busier egress = more
-            # front-ends routing to it = more client subnets).
-            lo, hi = self.subnet_multiplier
-            subnet_count = max(1, int(qps / self.mean_qps * rng.uniform(lo, hi)))
-            subnets = [f"{rng.randrange(90, 120)}.{rng.randrange(256)}"
-                       f".{rng.randrange(256)}.0" for _ in range(subnet_count)]
-            for ts in poisson_arrivals(qps, self.duration_s, rng):
-                subnet = rng.choice(subnets)
-                hostname = hostnames[zipf.sample(rng)]
-                records.append(PublicCdnRecord(
-                    ts, ip, hostname, 1, subnet, 24, 24, self.ttl))
+            resolver_ips.append(self._resolver_ip(r))
+            self._emit_resolver(r, hostnames, zipf, rng, records)
         records.sort(key=lambda rec: rec.ts)
         return PublicCdnDataset(records, resolver_ips, self.duration_s, self.ttl)
+
+    # -- sharded generation (repro.engine) ---------------------------------
+
+    _SEED_NS = "public-cdn"
+
+    def shard_units(self) -> int:
+        """The unit universe sharded over: egress resolvers."""
+        return self.resolver_count()
+
+    def build_shard(self, shard_index: int,
+                    shard_count: int) -> List[PublicCdnRecord]:
+        """Emit the query streams of one contiguous resolver range."""
+        hostnames = [f"a{i:04d}.cdn.example."
+                     for i in range(self.hostname_count)]
+        zipf = ZipfSampler(len(hostnames), self.zipf_alpha)
+        lo, hi = shard_bounds(self.resolver_count(), shard_count)[shard_index]
+        rng = random.Random(derive_seed(self.seed, shard_index,
+                                        self._SEED_NS))
+        records: List[PublicCdnRecord] = []
+        for r in range(lo, hi):
+            self._emit_resolver(r, hostnames, zipf, rng, records)
+        records.sort(key=lambda rec: rec.ts)
+        return records
+
+    def assemble(self,
+                 shard_records: Sequence[List[PublicCdnRecord]]
+                 ) -> PublicCdnDataset:
+        """Order-stable merge of shard outputs into a full dataset."""
+        records = merge_sorted_records(shard_records)
+        resolver_ips = [self._resolver_ip(r)
+                        for r in range(self.resolver_count())]
+        return PublicCdnDataset(records, resolver_ips, self.duration_s,
+                                self.ttl)

@@ -9,8 +9,10 @@ paper's pipelines consume the operators' logs.
 
 from __future__ import annotations
 
+import contextlib
 import csv
 import dataclasses
+import heapq
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -127,6 +129,59 @@ def iter_jsonl(path: Union[str, Path], record_type: Type[T]) -> Iterator[T]:
             line = line.strip()
             if line:
                 yield record_type(**json.loads(line))
+
+
+def shard_path(base_path: Union[str, Path], shard_index: int) -> Path:
+    """The conventional on-disk name of one shard of ``base_path``."""
+    base = Path(base_path)
+    return base.with_name(f"{base.name}.shard{shard_index:02d}")
+
+
+def write_jsonl_shards(shard_lists: Sequence[Iterable[object]],
+                       base_path: Union[str, Path]) -> List[Path]:
+    """Write one JSONL file per shard next to ``base_path``.
+
+    Shard workers can call :func:`write_jsonl` on their own shard file
+    concurrently; this helper is the serial equivalent, used once the
+    per-shard record lists are back in the parent.  Returns the shard
+    paths in shard order — the order :func:`merge_jsonl_shards` expects.
+    """
+    paths: List[Path] = []
+    for index, records in enumerate(shard_lists):
+        path = shard_path(base_path, index)
+        write_jsonl(records, path)
+        paths.append(path)
+    return paths
+
+
+def merge_jsonl_shards(paths: Sequence[Union[str, Path]],
+                       out_path: Union[str, Path],
+                       ts_field: str = "ts") -> int:
+    """Order-stable k-way merge of timestamp-sorted shard files.
+
+    Lines are merged by their ``ts_field`` value; ties break toward the
+    earlier shard in ``paths``, matching a stable sort of the shard
+    concatenation.  Streams line-by-line, so merging never materializes a
+    whole dataset in memory.  Returns the number of records written.
+    """
+
+    def stream(index: int, handle) -> Iterator[tuple]:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield (json.loads(line)[ts_field], index, line)
+
+    count = 0
+    with contextlib.ExitStack() as stack:
+        handles = [stack.enter_context(open(p, "r", encoding="utf-8"))
+                   for p in paths]
+        out = stack.enter_context(open(out_path, "w", encoding="utf-8"))
+        streams = [stream(i, h) for i, h in enumerate(handles)]
+        for _, _, line in heapq.merge(*streams):
+            out.write(line)
+            out.write("\n")
+            count += 1
+    return count
 
 
 def write_csv(records: Sequence[object], path: Union[str, Path]) -> int:

@@ -1,0 +1,120 @@
+"""Process-pool shard executor with per-shard throughput counters.
+
+``run_sharded`` is the single execution primitive of the engine: it maps a
+picklable top-level function over a list of shard argument tuples, either
+inline (``workers=1``) or on a ``concurrent.futures`` process pool, and
+always returns results **in shard order** regardless of completion order.
+That ordering guarantee — plus the fact that shard inputs never depend on
+the worker count — is what makes parallel runs byte-identical to serial
+ones.
+
+Timing is measured inside each worker, so :class:`ShardStats` reflects
+real per-shard compute time; the wall clock is measured by the parent.
+Stats feed the ``benchmarks/`` throughput tracking and are never part of
+rendered experiment reports (they would break determinism comparisons).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class ShardStats:
+    """Timing and volume counters for one shard."""
+
+    shard_index: int
+    records: int
+    seconds: float
+
+    @property
+    def records_per_second(self) -> float:
+        """Shard throughput; 0.0 for an instantaneous shard."""
+        return self.records / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class EngineReport:
+    """Aggregate throughput of one sharded run."""
+
+    task: str
+    workers: int
+    wall_seconds: float
+    shards: List[ShardStats] = field(default_factory=list)
+
+    @property
+    def total_records(self) -> int:
+        return sum(s.records for s in self.shards)
+
+    @property
+    def records_per_second(self) -> float:
+        """End-to-end throughput against the parent's wall clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_records / self.wall_seconds
+
+    def summary(self) -> str:
+        """One-line status suitable for stderr/progress notes."""
+        return (f"[engine] {self.task}: {self.total_records} records, "
+                f"{len(self.shards)} shards x {self.workers} worker(s), "
+                f"{self.wall_seconds:.2f}s wall "
+                f"({self.records_per_second:,.0f} rec/s)")
+
+    def report(self) -> str:
+        """Per-shard breakdown (for benchmarks and debugging)."""
+        lines = [self.summary()]
+        for s in self.shards:
+            lines.append(f"  shard {s.shard_index:2d}: {s.records:8d} records "
+                         f"in {s.seconds:7.3f}s "
+                         f"({s.records_per_second:,.0f} rec/s)")
+        return "\n".join(lines)
+
+
+def _timed_call(fn: Callable[..., Any], args: Tuple) -> Tuple[Any, float]:
+    """Run ``fn(*args)`` and measure it; executes inside the worker."""
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def run_sharded(fn: Callable[..., Any], shard_args: Sequence[Tuple],
+                workers: int = 1, task: str = "engine",
+                count_of: Optional[Callable[[Any], int]] = None
+                ) -> Tuple[List[Any], EngineReport]:
+    """Run ``fn`` over every argument tuple, one call per shard.
+
+    ``fn`` must be a module-level (picklable) function.  With
+    ``workers > 1`` the calls run on a process pool; results are still
+    collected in shard order, so output never depends on scheduling.
+    ``count_of`` extracts a record count from each result for the stats
+    (defaults to ``len`` where available).
+    """
+    workers = max(1, workers)
+    wall_start = time.perf_counter()
+    outcomes: List[Tuple[Any, float]] = []
+    if workers == 1 or len(shard_args) <= 1:
+        for args in shard_args:
+            outcomes.append(_timed_call(fn, args))
+    else:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(shard_args))) as pool:
+            futures = [pool.submit(_timed_call, fn, args)
+                       for args in shard_args]
+            outcomes = [future.result() for future in futures]
+    wall = time.perf_counter() - wall_start
+
+    results: List[Any] = []
+    stats: List[ShardStats] = []
+    for index, (result, seconds) in enumerate(outcomes):
+        if count_of is not None:
+            count = count_of(result)
+        elif hasattr(result, "__len__"):
+            count = len(result)
+        else:
+            count = 0
+        results.append(result)
+        stats.append(ShardStats(index, count, seconds))
+    return results, EngineReport(task, workers, wall, stats)

@@ -1,0 +1,52 @@
+"""Sharded dataset generation.
+
+A *shardable builder* exposes three methods::
+
+    shard_units() -> int                      # size of the unit universe
+    build_shard(index, count) -> List[record] # one shard, ts-sorted
+    assemble(shard_lists) -> dataset          # order-stable merge + wrap
+
+``build_shard`` must depend only on the builder's parameters and the
+shard index (its random stream is seeded via
+:func:`repro.engine.seeding.derive_seed`), never on which worker runs it.
+The engine then guarantees the merged output is identical for any worker
+count, because shards are generated from fixed seeds and merged in shard
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from .executor import EngineReport, run_sharded
+from .sharding import DEFAULT_SHARDS
+
+
+def _build_shard(builder: Any, shard_index: int, shard_count: int) -> list:
+    """Worker entry point; module-level so it pickles by reference."""
+    return builder.build_shard(shard_index, shard_count)
+
+
+def generate_records(builder: Any, shards: int = DEFAULT_SHARDS,
+                     workers: int = 1
+                     ) -> Tuple[List[list], EngineReport]:
+    """Generate all shards of ``builder``; returns per-shard record lists.
+
+    The lists come back in shard order, each sorted by timestamp — ready
+    for :func:`repro.datasets.records.write_jsonl_shards` or for
+    ``builder.assemble``.
+    """
+    if shards <= 0:
+        raise ValueError("shards must be >= 1")
+    name = type(builder).__name__
+    shard_args = [(builder, i, shards) for i in range(shards)]
+    return run_sharded(_build_shard, shard_args, workers=workers,
+                       task=f"generate:{name}")
+
+
+def generate_dataset(builder: Any, shards: int = DEFAULT_SHARDS,
+                     workers: int = 1) -> Tuple[Any, EngineReport]:
+    """Generate and assemble a full dataset object from shards."""
+    shard_lists, report = generate_records(builder, shards=shards,
+                                           workers=workers)
+    return builder.assemble(shard_lists), report

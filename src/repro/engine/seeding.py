@@ -1,0 +1,34 @@
+"""Deterministic seed derivation for sharded experiments.
+
+Every shard of a sharded generation or replay run needs its own random
+stream, and that stream must depend only on the *root seed* and the
+*shard index* — never on worker count, scheduling order, or process
+identity.  Python's built-in ``hash`` is salted per process, so shards
+derive their seeds from a SHA-256 of ``(namespace, root_seed,
+shard_index)`` instead: stable across processes, platforms, and runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Shard index reserved for "world" structures shared by every shard
+#: (client populations, resolver specs, SLD policies).
+WORLD_SHARD = -1
+
+
+def derive_seed(root_seed: int, shard_index: int,
+                namespace: str = "shard") -> int:
+    """A 64-bit seed for one shard, stable across processes.
+
+    ``namespace`` separates the streams of different builders so that,
+    e.g., the All-Names shard 0 and the Public-CDN shard 0 of the same
+    experiment never share a random stream.
+    """
+    payload = f"{namespace}:{root_seed}:{shard_index}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+def world_seed(root_seed: int, namespace: str) -> int:
+    """The seed for shard-independent 'world' structures of a builder."""
+    return derive_seed(root_seed, WORLD_SHARD, namespace)

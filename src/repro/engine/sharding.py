@@ -1,0 +1,62 @@
+"""Shard-plan arithmetic: splitting a unit universe across shards.
+
+The shard count is part of an experiment's identity — changing it changes
+which random stream generates which unit — while the *worker* count is
+pure execution detail.  Keeping the two separate is what makes
+``workers=1`` and ``workers=N`` byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+#: Default shard count for every sharded command.  Fixed independently of
+#: the worker count so results do not depend on the machine they ran on.
+DEFAULT_SHARDS = 8
+
+
+def shard_bounds(total: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-even ``[lo, hi)`` index ranges covering ``total``.
+
+    The first ``total % shards`` shards get one extra unit, so the split
+    is deterministic and as balanced as possible.
+    """
+    if shards <= 0:
+        raise ValueError("shards must be >= 1")
+    if total < 0:
+        raise ValueError("total must be >= 0")
+    base, extra = divmod(total, shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def stable_bucket(key: str, shards: int) -> int:
+    """Map a string key to a shard index, stable across processes.
+
+    Used to partition replay traces by query name so that every cache key
+    lands wholly inside one shard (both the plain and the ECS cache key
+    start with the qname).
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+def partition_by_key(items: Sequence[T], shards: int,
+                     key_of) -> List[List[T]]:
+    """Split ``items`` into ``shards`` buckets by ``stable_bucket(key)``.
+
+    Relative order inside each bucket follows the input order, so a
+    time-sorted trace yields time-sorted buckets.
+    """
+    buckets: List[List[T]] = [[] for _ in range(shards)]
+    for item in items:
+        buckets[stable_bucket(key_of(item), shards)].append(item)
+    return buckets

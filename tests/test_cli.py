@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _Reporter, build_parser, main
 
 
 class TestParser:
@@ -16,8 +16,50 @@ class TestParser:
 
     def test_all_command_has_every_knob(self):
         args = build_parser().parse_args(["all"])
-        for attr in ("ingress", "scale", "allnames_scale", "hours", "probes"):
+        for attr in ("ingress", "scale", "allnames_scale", "hours", "probes",
+                     "workers", "shards"):
             assert hasattr(args, attr)
+
+    @pytest.mark.parametrize("argv", [
+        ["generate", "allnames", "t.jsonl"],
+        ["replay", "allnames", "t.jsonl"],
+        ["blowup"],
+        ["all"],
+    ])
+    def test_engine_flags_on_sharded_commands(self, argv):
+        args = build_parser().parse_args(argv + ["--workers", "4",
+                                                 "--shards", "6"])
+        assert args.workers == 4 and args.shards == 6
+        defaults = build_parser().parse_args(argv)
+        assert defaults.workers == 1 and defaults.shards >= 1
+
+    def test_quiet_flag(self):
+        args = build_parser().parse_args(["--quiet", "scan"])
+        assert args.quiet is True
+        assert build_parser().parse_args(["scan"]).quiet is False
+
+
+class TestReporter:
+    def test_emit_creates_parent_directories_per_file(self, tmp_path):
+        reporter = _Reporter(str(tmp_path / "deep" / "out"), quiet=True)
+        reporter.emit("nested/section7/fig1", "hello")
+        target = tmp_path / "deep" / "out" / "nested" / "section7" / "fig1.txt"
+        assert target.read_text() == "hello\n"
+
+    def test_quiet_suppresses_stdout_but_writes_files(self, tmp_path,
+                                                      capsys):
+        reporter = _Reporter(str(tmp_path), quiet=True)
+        reporter.emit("report", "body")
+        reporter.note("progress line")
+        assert capsys.readouterr().out == ""
+        assert (tmp_path / "report.txt").read_text() == "body\n"
+
+    def test_loud_reporter_prints(self, capsys):
+        reporter = _Reporter(None)
+        reporter.emit("report", "body")
+        reporter.note("progress")
+        out = capsys.readouterr().out
+        assert "body" in out and "progress" in out
 
 
 class TestCommands:
@@ -84,3 +126,27 @@ class TestCommands:
         rc = main(["--seed", "2", "generate", "cdn", str(trace),
                    "--scale", "0.002", "--hours", "0.2"])
         assert rc == 0 and trace.stat().st_size > 0
+
+    def test_generate_cleans_up_shard_files(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["--seed", "2", "--quiet", "generate", "allnames",
+                   str(trace), "--scale", "0.01", "--workers", "2"])
+        assert rc == 0
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]
+
+    def test_generate_creates_parent_directories(self, tmp_path):
+        trace = tmp_path / "sub" / "dir" / "trace.jsonl"
+        rc = main(["--seed", "2", "--quiet", "generate", "allnames",
+                   str(trace), "--scale", "0.01"])
+        assert rc == 0 and trace.stat().st_size > 0
+
+    def test_quiet_replay_writes_report_silently(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(["--seed", "2", "--quiet", "generate", "allnames", str(trace),
+              "--scale", "0.01"])
+        out_dir = tmp_path / "reports"
+        rc = main(["--quiet", "--out", str(out_dir), "replay", "allnames",
+                   str(trace), "--workers", "2"])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+        assert "blow-up factor" in (out_dir / "replay.txt").read_text()

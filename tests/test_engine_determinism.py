@@ -1,0 +1,154 @@
+"""Determinism contract of ``repro.engine``: workers never change bytes.
+
+For every shardable builder and for the sharded replay, the merged
+output of ``workers=1`` must equal the merged output of ``workers=4``
+exactly — same records, same ReplayResults, same rendered report text —
+because shard random streams are seeded from ``derive_seed(root_seed,
+shard_index)`` and merged in shard order, independent of scheduling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cache_sim import replay
+from repro.datasets import (AllNamesBuilder, CdnDatasetBuilder,
+                            PublicCdnBuilder, RootTraceBuilder)
+from repro.engine import derive_seed, shard_bounds, world_seed
+from repro.engine.generate import generate_dataset, generate_records
+from repro.engine.replay import replay_sharded
+
+SHARDS = 4
+
+BUILDERS = {
+    "allnames": lambda seed: AllNamesBuilder(scale=0.01, seed=seed),
+    "public-cdn": lambda seed: PublicCdnBuilder(scale=0.002, seed=seed,
+                                                duration_s=300.0),
+    "cdn": lambda seed: CdnDatasetBuilder(scale=0.002, seed=seed,
+                                          duration_s=900.0),
+    "root": lambda seed: RootTraceBuilder(resolver_count=48, violators=5,
+                                          seed=seed),
+}
+
+
+@pytest.fixture(scope="module")
+def small_allnames_records():
+    dataset, _ = generate_dataset(AllNamesBuilder(scale=0.01, seed=9),
+                                  shards=SHARDS, workers=1)
+    return dataset.records
+
+
+class TestSeeding:
+    def test_derive_seed_stable_and_distinct(self):
+        assert derive_seed(7, 0) == derive_seed(7, 0)
+        seeds = {derive_seed(7, i) for i in range(64)}
+        assert len(seeds) == 64
+        assert derive_seed(7, 0) != derive_seed(8, 0)
+        assert derive_seed(7, 0, "a") != derive_seed(7, 0, "b")
+        assert world_seed(7, "a") == derive_seed(7, -1, "a")
+
+    def test_shard_bounds_cover_everything_once(self):
+        for total in (0, 1, 7, 8, 9, 100):
+            bounds = shard_bounds(total, SHARDS)
+            assert bounds[0][0] == 0 and bounds[-1][1] == total
+            for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                assert hi == lo
+
+
+class TestBuilderDeterminism:
+    @pytest.mark.parametrize("kind", sorted(BUILDERS))
+    def test_workers_1_vs_4_identical_records(self, kind):
+        make = BUILDERS[kind]
+        serial, _ = generate_records(make(5), shards=SHARDS, workers=1)
+        parallel, _ = generate_records(make(5), shards=SHARDS, workers=4)
+        assert serial == parallel
+
+    @pytest.mark.parametrize("kind", sorted(BUILDERS))
+    def test_assembled_dataset_identical(self, kind):
+        make = BUILDERS[kind]
+        ds1, _ = generate_dataset(make(5), shards=SHARDS, workers=1)
+        ds4, _ = generate_dataset(make(5), shards=SHARDS, workers=4)
+        assert ds1.records == ds4.records
+
+    def test_different_seeds_differ(self):
+        a, _ = generate_records(BUILDERS["allnames"](1), shards=SHARDS)
+        b, _ = generate_records(BUILDERS["allnames"](2), shards=SHARDS)
+        assert a != b
+
+    def test_merged_records_time_sorted(self):
+        dataset, _ = generate_dataset(BUILDERS["public-cdn"](5),
+                                      shards=SHARDS, workers=1)
+        timestamps = [r.ts for r in dataset.records]
+        assert timestamps == sorted(timestamps)
+
+    def test_root_trace_ground_truth_stable(self):
+        rt1, _ = generate_dataset(BUILDERS["root"](5), shards=SHARDS,
+                                  workers=1)
+        rt4, _ = generate_dataset(BUILDERS["root"](5), shards=SHARDS,
+                                  workers=4)
+        assert rt1.violator_ips == rt4.violator_ips
+        assert len(rt1.violator_ips) == 5
+
+
+class TestReplayDeterminism:
+    def test_workers_1_vs_4_identical_result(self, small_allnames_records):
+        r1, _ = replay_sharded(small_allnames_records, "allnames",
+                               shards=SHARDS, workers=1)
+        r4, _ = replay_sharded(small_allnames_records, "allnames",
+                               shards=SHARDS, workers=4)
+        assert r1 == r4
+
+    def test_single_shard_matches_legacy_replay(self, small_allnames_records):
+        sharded, _ = replay_sharded(small_allnames_records, "allnames",
+                                    shards=1, workers=1)
+        legacy = replay(small_allnames_records,
+                        client_of=lambda r: r.client_ip,
+                        scope_of=lambda r: r.scope,
+                        ttl_of=lambda r: r.ttl)
+        assert sharded == legacy
+
+    def test_public_cdn_kind(self):
+        dataset, _ = generate_dataset(BUILDERS["public-cdn"](9),
+                                      shards=SHARDS, workers=1)
+        r1, _ = replay_sharded(dataset.records, "public-cdn",
+                               shards=SHARDS, workers=1)
+        r4, _ = replay_sharded(dataset.records, "public-cdn",
+                               shards=SHARDS, workers=4)
+        assert r1 == r4
+
+    def test_unknown_kind_rejected(self, small_allnames_records):
+        with pytest.raises(ValueError):
+            replay_sharded(small_allnames_records, "nope")
+
+
+class TestCliDeterminism:
+    """End-to-end: the CLI's rendered artifacts are worker-independent."""
+
+    def _generate(self, tmp_path, tag, workers):
+        from repro.cli import main
+        trace = tmp_path / f"trace-{tag}.jsonl"
+        rc = main(["--seed", "3", "--quiet", "generate", "allnames",
+                   str(trace), "--scale", "0.01",
+                   "--shards", str(SHARDS), "--workers", str(workers)])
+        assert rc == 0
+        return trace
+
+    def test_generate_bytes_identical(self, tmp_path):
+        serial = self._generate(tmp_path, "w1", 1)
+        parallel = self._generate(tmp_path, "w4", 4)
+        assert serial.read_bytes() == parallel.read_bytes()
+        assert serial.stat().st_size > 0
+
+    def test_replay_report_bytes_identical(self, tmp_path):
+        from repro.cli import main
+        trace = self._generate(tmp_path, "replay", 1)
+        reports = {}
+        for workers in (1, 4):
+            out = tmp_path / f"out-w{workers}"
+            rc = main(["--quiet", "--out", str(out), "replay", "allnames",
+                       str(trace), "--shards", str(SHARDS),
+                       "--workers", str(workers)])
+            assert rc == 0
+            reports[workers] = (out / "replay.txt").read_bytes()
+        assert reports[1] == reports[4]
+        assert b"blow-up factor" in reports[1]

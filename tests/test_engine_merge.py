@@ -1,0 +1,149 @@
+"""Shard-merge algebra: ReplayPartial merging and the order-stable merges.
+
+The engine's correctness under concurrency reduces to these properties:
+partial merging is associative, commutative, and has an identity, so any
+shard order (and therefore any completion order) yields the same final
+ReplayResult; the record/JSONL merges are stable k-way merges equivalent
+to a stable sort of the shard concatenation.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.cache_sim import (ReplayPartial, merge_partials,
+                                      replay_partial)
+from repro.datasets import (AllNamesBuilder, merge_jsonl_shards,
+                            merge_sorted_records, write_jsonl,
+                            write_jsonl_shards)
+from repro.engine.generate import generate_records
+from repro.engine.replay import _replay_shard
+from repro.engine.sharding import partition_by_key
+
+
+def _random_partial(rng: random.Random) -> ReplayPartial:
+    return ReplayPartial(*(rng.randrange(0, 1000) for _ in range(6)))
+
+
+class TestPartialAlgebra:
+    def test_identity(self):
+        rng = random.Random(1)
+        partial = _random_partial(rng)
+        empty = ReplayPartial()
+        assert partial.merge(empty) == partial
+        assert empty.merge(partial) == partial
+
+    def test_associative(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            a, b, c = (_random_partial(rng) for _ in range(3))
+            assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_commutative(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            a, b = (_random_partial(rng) for _ in range(2))
+            assert a.merge(b) == b.merge(a)
+
+    def test_result_matches_counters(self):
+        partial = ReplayPartial(hits_ecs=3, misses_ecs=7, hits_no_ecs=8,
+                                misses_no_ecs=2, max_size_ecs=40,
+                                max_size_no_ecs=10)
+        result = partial.result()
+        assert result.hit_rate_ecs == pytest.approx(0.3)
+        assert result.hit_rate_no_ecs == pytest.approx(0.8)
+        assert result.blowup == pytest.approx(4.0)
+
+    def test_empty_result_is_idle(self):
+        result = ReplayPartial().result()
+        assert result.hit_rate_ecs == 0.0
+        assert result.hit_rate_no_ecs == 0.0
+        assert result.blowup == 1.0
+
+
+class TestShardOrderIndependence:
+    """Shuffling real shard partials never changes the merged result."""
+
+    @pytest.fixture(scope="class")
+    def shard_partials(self):
+        shard_lists, _ = generate_records(AllNamesBuilder(scale=0.01, seed=6),
+                                          shards=6, workers=1)
+        records = merge_sorted_records(shard_lists)
+        buckets = partition_by_key(records, 6, lambda r: r.qname)
+        return [_replay_shard(bucket, "allnames") for bucket in buckets]
+
+    def test_shuffled_shards_same_result(self, shard_partials):
+        baseline = merge_partials(shard_partials)
+        rng = random.Random(7)
+        for _ in range(10):
+            shuffled = list(shard_partials)
+            rng.shuffle(shuffled)
+            result = merge_partials(shuffled)
+            assert result == baseline
+            assert result.blowup == baseline.blowup
+
+    def test_pairwise_tree_merge_same_result(self, shard_partials):
+        # Merging as a reduction tree (how a hierarchical merge would run)
+        # equals the left fold.
+        level = list(shard_partials)
+        while len(level) > 1:
+            level = [level[i].merge(level[i + 1])
+                     if i + 1 < len(level) else level[i]
+                     for i in range(0, len(level), 2)]
+        assert level[0].result() == merge_partials(shard_partials)
+
+
+@dataclass
+class _Stamp:
+    ts: float
+    tag: str
+
+
+class TestOrderStableMerges:
+    def test_merge_sorted_records_is_stable_sort(self):
+        rng = random.Random(8)
+        # Duplicated timestamps across shards exercise tie-breaking.
+        shards = [sorted((_Stamp(rng.choice((1.0, 2.0, 3.0)), f"s{i}-{j}")
+                          for j in range(20)), key=lambda r: r.ts)
+                  for i in range(4)]
+        merged = merge_sorted_records(shards)
+        concat = [r for shard in shards for r in shard]
+        assert merged == sorted(concat, key=lambda r: r.ts)
+
+    def test_jsonl_shard_merge_equals_in_memory_merge(self, tmp_path):
+        shard_lists, _ = generate_records(AllNamesBuilder(scale=0.01, seed=6),
+                                          shards=4, workers=1)
+        base = tmp_path / "trace.jsonl"
+        paths = write_jsonl_shards(shard_lists, base)
+        assert [p.name for p in paths] == [f"trace.jsonl.shard{i:02d}"
+                                           for i in range(4)]
+        count = merge_jsonl_shards(paths, base)
+        assert count == sum(len(s) for s in shard_lists)
+
+        direct = tmp_path / "direct.jsonl"
+        write_jsonl(merge_sorted_records(shard_lists), direct)
+        assert base.read_bytes() == direct.read_bytes()
+
+    def test_jsonl_merge_tie_break_is_shard_order(self, tmp_path):
+        shards = [[_Stamp(1.0, "a"), _Stamp(2.0, "b")],
+                  [_Stamp(1.0, "c"), _Stamp(2.0, "d")]]
+        paths = write_jsonl_shards(shards, tmp_path / "t.jsonl")
+        merge_jsonl_shards(paths, tmp_path / "t.jsonl")
+        tags = [json.loads(line)["tag"] for line in
+                (tmp_path / "t.jsonl").read_text().splitlines()]
+        assert tags == ["a", "c", "b", "d"]
+
+    def test_replay_partial_counts_queries(self):
+        shard_lists, _ = generate_records(AllNamesBuilder(scale=0.01, seed=6),
+                                          shards=4, workers=1)
+        records = merge_sorted_records(shard_lists)
+        partial = replay_partial(records,
+                                 client_of=lambda r: r.client_ip,
+                                 scope_of=lambda r: r.scope,
+                                 ttl_of=lambda r: r.ttl)
+        assert partial.queries == len(records)
+        assert partial.hits_no_ecs + partial.misses_no_ecs == len(records)

@@ -1,0 +1,160 @@
+"""Property/round-trip layer: dnslib wire codec under random ECS inputs.
+
+Asserts ``parse(build(x)) == x`` at full-message granularity for random
+names, IPv4 prefix lengths 0-32, IPv6 prefix lengths 0-128, and random
+scopes.  Runs under Hypothesis when available and falls back to a
+seeded-random generator otherwise, so the invariants stay enforced on
+minimal tool chains.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+
+import pytest
+
+from repro.dnslib import (EcsOption, Message, Name, RecordType,
+                          decode_message, encode_message)
+from repro.engine.sharding import partition_by_key, stable_bucket
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+_LABEL_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-"
+
+
+def _valid_label(s: str) -> bool:
+    return not s.startswith("-") and not s.endswith("-")
+
+
+def _random_name(rng: random.Random) -> Name:
+    parts = []
+    for _ in range(rng.randint(1, 5)):
+        label = "".join(rng.choice(_LABEL_ALPHABET)
+                        for _ in range(rng.randint(1, 12)))
+        parts.append(label.strip("-") or "x")
+    return Name.from_text(".".join(parts))
+
+
+def _roundtrip_query(qname: Name, qtype: RecordType, msg_id: int,
+                     ecs: EcsOption) -> None:
+    message = Message.make_query(qname, qtype, msg_id=msg_id, ecs=ecs)
+    decoded = decode_message(encode_message(message))
+    assert decoded == message
+    assert decoded.ecs() == ecs
+
+
+def _check_v4(address: str, source: int, scope: int, msg_id: int,
+              rng_name: Name) -> None:
+    ecs = EcsOption.from_client_address(address, source,
+                                        scope_prefix_length=scope)
+    assert EcsOption.from_wire(ecs.to_wire()) == ecs
+    _roundtrip_query(rng_name, RecordType.A, msg_id, ecs)
+
+
+def _check_v6(address: str, source: int, scope: int, msg_id: int,
+              rng_name: Name) -> None:
+    ecs = EcsOption.from_client_address(address, source,
+                                        scope_prefix_length=scope)
+    assert EcsOption.from_wire(ecs.to_wire()) == ecs
+    _roundtrip_query(rng_name, RecordType.AAAA, msg_id, ecs)
+
+
+if HAVE_HYPOTHESIS:
+    labels = st.text(alphabet=_LABEL_ALPHABET, min_size=1,
+                     max_size=12).filter(_valid_label)
+    names = st.lists(labels, min_size=1, max_size=5).map(
+        lambda parts: Name.from_text(".".join(parts)))
+    v4_addresses = st.integers(min_value=0, max_value=2**32 - 1).map(
+        lambda n: str(ipaddress.IPv4Address(n)))
+    v6_addresses = st.integers(min_value=0, max_value=2**128 - 1).map(
+        lambda n: str(ipaddress.IPv6Address(n)))
+
+    class TestEcsMessageRoundTrip:
+        @settings(max_examples=120, deadline=None)
+        @given(names, v4_addresses,
+               st.integers(min_value=0, max_value=32),
+               st.integers(min_value=0, max_value=32),
+               st.integers(min_value=0, max_value=0xFFFF))
+        def test_v4_message_roundtrip(self, qname, address, source, scope,
+                                      msg_id):
+            _check_v4(address, source, scope, msg_id, qname)
+
+        @settings(max_examples=120, deadline=None)
+        @given(names, v6_addresses,
+               st.integers(min_value=0, max_value=128),
+               st.integers(min_value=0, max_value=128),
+               st.integers(min_value=0, max_value=0xFFFF))
+        def test_v6_message_roundtrip(self, qname, address, source, scope,
+                                      msg_id):
+            _check_v6(address, source, scope, msg_id, qname)
+
+        @settings(max_examples=80, deadline=None)
+        @given(v4_addresses, st.integers(min_value=0, max_value=32),
+               st.integers(min_value=0, max_value=32))
+        def test_wire_length_matches_source_prefix(self, address, source,
+                                                   scope):
+            # RFC 7871 section 6: exactly ceil(source/8) address octets.
+            ecs = EcsOption.from_client_address(address, source,
+                                               scope_prefix_length=scope)
+            assert len(ecs.to_wire()) == 4 + (source + 7) // 8
+else:  # pragma: no cover - exercised only without hypothesis
+    class TestEcsMessageRoundTrip:
+        @pytest.mark.parametrize("seed", range(8))
+        def test_v4_message_roundtrip(self, seed):
+            rng = random.Random(1000 + seed)
+            for _ in range(40):
+                address = str(ipaddress.IPv4Address(rng.getrandbits(32)))
+                _check_v4(address, rng.randint(0, 32), rng.randint(0, 32),
+                          rng.randint(0, 0xFFFF), _random_name(rng))
+
+        @pytest.mark.parametrize("seed", range(8))
+        def test_v6_message_roundtrip(self, seed):
+            rng = random.Random(2000 + seed)
+            for _ in range(40):
+                address = str(ipaddress.IPv6Address(rng.getrandbits(128)))
+                _check_v6(address, rng.randint(0, 128), rng.randint(0, 128),
+                          rng.randint(0, 0xFFFF), _random_name(rng))
+
+        @pytest.mark.parametrize("seed", range(4))
+        def test_wire_length_matches_source_prefix(self, seed):
+            rng = random.Random(3000 + seed)
+            for _ in range(40):
+                address = str(ipaddress.IPv4Address(rng.getrandbits(32)))
+                source = rng.randint(0, 32)
+                ecs = EcsOption.from_client_address(
+                    address, source, scope_prefix_length=rng.randint(0, 32))
+                assert len(ecs.to_wire()) == 4 + (source + 7) // 8
+
+
+class TestShardingProperties:
+    """Seeded-random checks on the engine's partitioning primitives."""
+
+    def test_stable_bucket_in_range_and_deterministic(self):
+        rng = random.Random(4)
+        for _ in range(200):
+            key = "".join(rng.choice(_LABEL_ALPHABET)
+                          for _ in range(rng.randint(1, 24)))
+            shards = rng.randint(1, 16)
+            bucket = stable_bucket(key, shards)
+            assert 0 <= bucket < shards
+            assert bucket == stable_bucket(key, shards)
+
+    def test_partition_preserves_multiset_and_order(self):
+        rng = random.Random(5)
+        items = [(i, rng.choice("abcdef")) for i in range(300)]
+        buckets = partition_by_key(items, 5, lambda item: item[1])
+        assert sorted(item for b in buckets for item in b) == sorted(items)
+        for bucket in buckets:
+            indexes = [i for i, _ in bucket]
+            assert indexes == sorted(indexes)
+        # Same key, same bucket — the property replay sharding relies on.
+        for bucket in buckets:
+            for other in buckets:
+                if bucket is not other:
+                    assert not ({k for _, k in bucket}
+                                & {k for _, k in other})
