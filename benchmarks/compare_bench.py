@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Diff two ``BENCH_*.json`` files and fail on throughput regressions.
+
+Usage::
+
+    python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.25]
+
+Both files are the ``name -> {metric: value}`` shape the bench fixtures
+write (``BENCH_engine.json``, ``BENCH_hotpath.json``).  Every numeric
+throughput metric — a key named ``records_per_second`` or ending in
+``_rps`` — present in *both* files is compared; a drop of more than
+``threshold`` (default 25%) is a regression and the exit status is 1.
+Benchmarks present in only one file are reported but never fail the run,
+so adding or retiring benchmarks does not break CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: Metric keys treated as throughput (higher is better).
+THROUGHPUT_KEYS = ("records_per_second",)
+THROUGHPUT_SUFFIX = "_rps"
+
+
+def is_throughput_key(key: str) -> bool:
+    return key in THROUGHPUT_KEYS or key.endswith(THROUGHPUT_SUFFIX)
+
+
+def throughput_metrics(doc: Dict) -> Dict[Tuple[str, str], float]:
+    """Flatten ``{bench: {metric: value}}`` to throughput leaves only."""
+    out: Dict[Tuple[str, str], float] = {}
+    for bench, metrics in doc.items():
+        if not isinstance(metrics, dict):
+            continue
+        for key, value in metrics.items():
+            if is_throughput_key(key) and isinstance(value, (int, float)):
+                out[(bench, key)] = float(value)
+    return out
+
+
+def compare(old: Dict, new: Dict,
+            threshold: float = 0.25) -> Tuple[List[str], List[str]]:
+    """Compare two bench documents.
+
+    Returns ``(report_lines, regressions)``; the run fails when
+    ``regressions`` is non-empty.
+    """
+    old_metrics = throughput_metrics(old)
+    new_metrics = throughput_metrics(new)
+    lines: List[str] = []
+    regressions: List[str] = []
+    for key in sorted(set(old_metrics) | set(new_metrics)):
+        bench, metric = key
+        label = f"{bench}.{metric}"
+        if key not in old_metrics:
+            lines.append(f"  NEW      {label}: {new_metrics[key]:,.1f}")
+            continue
+        if key not in new_metrics:
+            lines.append(f"  RETIRED  {label} (was {old_metrics[key]:,.1f})")
+            continue
+        before, after = old_metrics[key], new_metrics[key]
+        change = (after - before) / before if before else 0.0
+        status = "ok"
+        if change < -threshold:
+            status = "REGRESSION"
+            regressions.append(
+                f"{label}: {before:,.1f} -> {after:,.1f} "
+                f"({change:+.1%}, threshold -{threshold:.0%})")
+        lines.append(f"  {status:<9}{label}: {before:,.1f} -> "
+                     f"{after:,.1f} ({change:+.1%})")
+    return lines, regressions
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("new", type=Path, help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional drop (default 0.25)")
+    args = parser.parse_args(argv)
+
+    old = json.loads(args.old.read_text())
+    new = json.loads(args.new.read_text())
+    lines, regressions = compare(old, new, args.threshold)
+    print(f"comparing {args.old} -> {args.new} "
+          f"(threshold -{args.threshold:.0%})")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} throughput regression(s):")
+        for entry in regressions:
+            print(f"  {entry}")
+        return 1
+    print("\nno throughput regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

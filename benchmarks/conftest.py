@@ -23,6 +23,9 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: Where the engine throughput numbers land (records/sec at workers=1/4).
 BENCH_ENGINE_JSON = RESULTS_DIR / "BENCH_engine.json"
 
+#: Where the hot-path fast-lane numbers land (reference vs fast rec/s).
+BENCH_HOTPATH_JSON = RESULTS_DIR / "BENCH_hotpath.json"
+
 
 def pytest_collection_modifyitems(items) -> None:
     """Mark everything under benchmarks/ so ``-m "not bench"`` skips it.
@@ -53,6 +56,21 @@ def engine_bench(report_dir):
     if samples:
         BENCH_ENGINE_JSON.write_text(json.dumps(samples, indent=2,
                                                 sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def hotpath_bench(report_dir):
+    """Collects hot-path samples; written to BENCH_hotpath.json.
+
+    Each sample is ``name -> {records, reference_rps, fast_rps, speedup}``
+    — before-vs-after throughput of one fast lane against its readable
+    reference implementation (see docs/performance.md).
+    """
+    samples = {}
+    yield samples
+    if samples:
+        BENCH_HOTPATH_JSON.write_text(json.dumps(samples, indent=2,
+                                                 sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

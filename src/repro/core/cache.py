@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..dnslib import EcsOption, Message, Name, RecordType
-from ..net.addr import prefix_key
+from ..net.addr import parse_addr, prefix_key, prefix_key_int
 from ..net.clock import SimClock
 
 IPAddressLike = Union[str, ipaddress.IPv4Address, ipaddress.IPv6Address]
@@ -67,7 +67,7 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     scope_bits: Optional[int]          # None => non-ECS (global) entry
     net_key: Optional[Tuple[int, int, int]]  # prefix key at scope_bits
@@ -157,10 +157,10 @@ class EcsCache:
             return True
         if client is None:
             return False
-        addr = ipaddress.ip_address(client)
-        if entry.family is not None and addr.version != entry.family:
+        version, value = parse_addr(client)
+        if entry.family is not None and version != entry.family:
             return False
-        return prefix_key(addr, entry.scope_bits) == entry.net_key
+        return prefix_key_int(version, value, entry.scope_bits) == entry.net_key
 
     def _aged_copy(self, entry: _Entry, now: float) -> Message:
         response = entry.response.copy()
@@ -207,7 +207,8 @@ class EcsCache:
                 return False
             scope_bits = scope
             family = 4 if query_ecs.family == 1 else 6
-            net_key = prefix_key(query_ecs.address, scope_bits)
+            version, value = parse_addr(query_ecs.address)
+            net_key = prefix_key_int(version, value, scope_bits)
 
         entry = _Entry(scope_bits, net_key, family, response.copy(),
                        now, now + ttl, last_used=now)
@@ -258,8 +259,13 @@ class ScopeTracker:
     ``tests/test_export_and_differential.py`` verifies the agreement.
     """
 
-    def __init__(self, use_ecs: bool = True):
+    def __init__(self, use_ecs: bool = True, fast: bool = True):
         self.use_ecs = use_ecs
+        #: ``fast=False`` keys through the readable ``ipaddress``-based
+        #: reference (``prefix_key``) instead of the integer fast lane.
+        #: Both produce identical keys — the flag exists so benchmarks and
+        #: the equivalence suite can exercise the reference path.
+        self.fast = fast
         self._expiry: Dict[tuple, float] = {}
         self._heap: List[Tuple[float, tuple]] = []
         self.current_size = 0
@@ -271,6 +277,9 @@ class ScopeTracker:
              scope: int) -> tuple:
         if not self.use_ecs or scope == 0 or client is None:
             return (qname, qtype)
+        if self.fast:
+            version, value = parse_addr(client)
+            return (qname, qtype) + prefix_key_int(version, value, scope)
         return (qname, qtype) + prefix_key(client, scope)
 
     def access(self, now: float, qname: str, qtype: int,

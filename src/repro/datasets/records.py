@@ -21,7 +21,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Type, TypeVar, 
 T = TypeVar("T")
 
 
-@dataclass
+@dataclass(slots=True)
 class CdnQueryRecord:
     """One query in the CDN dataset (authoritative vantage, section 4).
 
@@ -41,7 +41,7 @@ class CdnQueryRecord:
     ttl: int = 20
 
 
-@dataclass
+@dataclass(slots=True)
 class ScanQueryRecord:
     """One arrival at the experimental nameserver (Scan dataset)."""
 
@@ -54,7 +54,7 @@ class ScanQueryRecord:
     ecs_source_len: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PublicCdnRecord:
     """One ECS query from the public service to the CDN (section 4's
     Public Resolver/CDN dataset: all queries carry ECS, all responses a
@@ -70,7 +70,7 @@ class PublicCdnRecord:
     ttl: int = 20
 
 
-@dataclass
+@dataclass(slots=True)
 class AllNamesRecord:
     """One query/response pair at the busy anycast resolver (All-Names
     Resolver dataset): both the client IP and the authoritative scope are
@@ -84,7 +84,7 @@ class AllNamesRecord:
     ttl: int
 
 
-@dataclass
+@dataclass(slots=True)
 class RootQueryRecord:
     """One query in a root-server (DITL-like) trace."""
 

@@ -21,6 +21,23 @@ from .errors import BadEcsError, BadOptionError, TruncatedMessageError
 
 IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
 
+# Precompiled wire structs (format parsed once, not per call).
+_ECS_HEADER = struct.Struct("!HBB")
+_OPTION_HEADER = struct.Struct("!HH")
+
+#: Encode cache for repeated OPT payloads.  Simulated resolvers send the
+#: same option list (one ECS option per client prefix) over and over; all
+#: modeled options are frozen dataclasses, so the list keys by its tuple.
+#: Unhashable (user-defined) options simply bypass the cache.  Bounded by
+#: wholesale clearing — a miss only costs one re-encode.
+_OPTIONS_CACHE: Dict[tuple, bytes] = {}
+_OPTIONS_CACHE_MAX = 4096
+
+
+def clear_options_cache() -> None:
+    """Drop the OPT payload encode cache (benchmarks/tests hook)."""
+    _OPTIONS_CACHE.clear()
+
 
 class EdnsOption:
     """Base class for EDNS0 options carried in the OPT pseudo-record."""
@@ -200,14 +217,14 @@ class EcsOption(EdnsOption):
         trailing = nbytes * 8 - self.source_prefix_length
         if trailing and packed:
             packed = packed[:-1] + bytes([packed[-1] & (0xFF << trailing) & 0xFF])
-        return struct.pack("!HBB", self.family, self.source_prefix_length,
-                           self.scope_prefix_length) + packed
+        return _ECS_HEADER.pack(self.family, self.source_prefix_length,
+                                self.scope_prefix_length) + packed
 
     @classmethod
     def from_wire(cls, data: bytes) -> "EcsOption":
         if len(data) < 4:
             raise BadEcsError("ECS option shorter than 4 octets")
-        family, source, scope = struct.unpack_from("!HBB", data)
+        family, source, scope = _ECS_HEADER.unpack_from(data)
         if family == ECS_FAMILY_IPV4:
             maxbits, width = 32, 4
         elif family == ECS_FAMILY_IPV6:
@@ -267,13 +284,30 @@ def decode_option(code: int, data: bytes) -> EdnsOption:
 
 
 def encode_options(options: List[EdnsOption]) -> bytes:
-    """Serialize a list of options into the OPT RDATA payload."""
+    """Serialize a list of options into the OPT RDATA payload.
+
+    Successful encodes of hashable option lists are memoized (see
+    ``_OPTIONS_CACHE``); the cached bytes are immutable, so sharing them
+    is safe.
+    """
+    try:
+        key: Optional[tuple] = tuple(options)
+        cached = _OPTIONS_CACHE.get(key)
+        if cached is not None:
+            return cached
+    except TypeError:
+        key = None
     out = bytearray()
     for opt in options:
         payload = opt.to_wire()
-        out += struct.pack("!HH", int(opt.code), len(payload))
+        out += _OPTION_HEADER.pack(int(opt.code), len(payload))
         out += payload
-    return bytes(out)
+    wire = bytes(out)
+    if key is not None:
+        if len(_OPTIONS_CACHE) >= _OPTIONS_CACHE_MAX:
+            _OPTIONS_CACHE.clear()
+        _OPTIONS_CACHE[key] = wire
+    return wire
 
 
 def decode_options(data: bytes) -> List[EdnsOption]:
@@ -283,7 +317,7 @@ def decode_options(data: bytes) -> List[EdnsOption]:
     while offset < len(data):
         if offset + 4 > len(data):
             raise TruncatedMessageError("EDNS option header truncated")
-        code, length = struct.unpack_from("!HH", data, offset)
+        code, length = _OPTION_HEADER.unpack_from(data, offset)
         offset += 4
         if offset + length > len(data):
             raise TruncatedMessageError("EDNS option payload truncated")

@@ -12,12 +12,33 @@ label algebra (parent/child/subdomain tests) the resolvers need.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Iterator, Tuple
 
 from .errors import NameError_
 
 MAX_LABEL_LENGTH = 63
 MAX_NAME_LENGTH = 255
+
+
+@lru_cache(maxsize=65536)
+def _from_text_interned(text: str) -> "Name":
+    """Shared-instance parse cache behind :meth:`Name.from_text`.
+
+    Names are immutable and hash/compare by value, so handing the same
+    object back for a repeated string is observationally transparent while
+    skipping the per-label validation work on the hot dataset paths (every
+    trace record re-parses its qname).
+    """
+    if text.endswith("."):
+        text = text[:-1]
+    if not text:
+        return ROOT
+    try:
+        labels = [lab.encode("ascii") for lab in text.split(".")]
+    except UnicodeEncodeError as exc:
+        raise NameError_(f"non-ASCII name: {text!r}") from exc
+    return Name(labels)
 
 
 def _validate_label(label: bytes) -> bytes:
@@ -37,7 +58,7 @@ class Name:
     True
     """
 
-    __slots__ = ("_labels", "_folded", "_hash")
+    __slots__ = ("_labels", "_folded", "_hash", "_text")
 
     def __init__(self, labels: Iterable[bytes]):
         labels = tuple(_validate_label(bytes(lab)) for lab in labels)
@@ -47,6 +68,7 @@ class Name:
         self._labels = labels
         self._folded = tuple(lab.lower() for lab in labels)
         self._hash = hash(self._folded)
+        self._text: str = ""
 
     # -- constructors ------------------------------------------------------
 
@@ -55,19 +77,12 @@ class Name:
         """Parse a name from presentation format.
 
         A trailing dot is accepted and ignored; ``"."`` and ``""`` both give
-        the root name.
+        the root name.  Results are interned: repeated parses of one string
+        return the same immutable instance.
         """
         if text in ("", "."):
             return ROOT
-        if text.endswith("."):
-            text = text[:-1]
-        if not text:
-            return ROOT
-        try:
-            labels = [lab.encode("ascii") for lab in text.split(".")]
-        except UnicodeEncodeError as exc:
-            raise NameError_(f"non-ASCII name: {text!r}") from exc
-        return cls(labels)
+        return _from_text_interned(text)
 
     @classmethod
     def root(cls) -> "Name":
@@ -81,11 +96,25 @@ class Name:
         """The labels, most-specific first, without the root label."""
         return self._labels
 
+    @property
+    def folded(self) -> Tuple[bytes, ...]:
+        """The case-folded (lowercase) labels, memoized at construction.
+
+        The wire encoder keys its compression table by these, so exposing
+        the precomputed tuple saves a per-label ``lower()`` pass on every
+        encoded name.
+        """
+        return self._folded
+
     def to_text(self) -> str:
-        """Presentation format; the root renders as ``"."``."""
+        """Presentation format; the root renders as ``"."`` (memoized)."""
         if not self._labels:
             return "."
-        return ".".join(lab.decode("ascii") for lab in self._labels) + "."
+        text = self._text
+        if not text:
+            text = ".".join(lab.decode("ascii") for lab in self._labels) + "."
+            self._text = text
+        return text
 
     def is_root(self) -> bool:
         """True for the zero-label root name."""

@@ -27,6 +27,28 @@ _FLAG_RA = 0x0080
 _POINTER_MASK = 0xC0
 _MAX_POINTER_HOPS = 64
 
+# Precompiled wire structs: ``Struct.pack``/``unpack_from`` skip the format
+# re-parse ``struct.pack(fmt, ...)`` pays on every call — these run once per
+# name/record/message on the hot encode/decode paths.
+_U16 = struct.Struct("!H")
+_HEADER = struct.Struct("!HHHHHH")
+_QFIXED = struct.Struct("!HH")
+_RRFIXED = struct.Struct("!HHIH")
+
+#: Question-name encode cache.  The question section always starts at
+#: offset 12 (right after the fixed header), so the wire bytes of a qname
+#: and the compression-table entries it seeds are identical across
+#: messages.  Keyed by the exact label tuple (spelling is preserved on the
+#: wire); bounded by wholesale clearing, which only costs re-encoding.
+_QNAME_CACHE: Dict[Tuple[bytes, ...],
+                   Tuple[bytes, Tuple[Tuple[Tuple[bytes, ...], int], ...]]] = {}
+_QNAME_CACHE_MAX = 4096
+
+
+def clear_codec_caches() -> None:
+    """Drop the wire-layer encode caches (benchmarks/tests hook)."""
+    _QNAME_CACHE.clear()
+
 
 # ---------------------------------------------------------------------------
 # names
@@ -35,19 +57,43 @@ _MAX_POINTER_HOPS = 64
 def encode_name(name: Name, buf: bytearray,
                 compress: Dict[Tuple[bytes, ...], int]) -> None:
     """Append ``name`` to ``buf`` using compression pointers when possible."""
-    labels = tuple(lab.lower() for lab in name.labels)
+    labels = name.folded
+    raw = name.labels
     for i in range(len(labels)):
         suffix = labels[i:]
         target = compress.get(suffix)
         if target is not None and target < 0x4000:
-            buf += struct.pack("!H", 0xC000 | target)
+            buf += _U16.pack(0xC000 | target)
             return
         if len(buf) < 0x4000:
             compress[suffix] = len(buf)
-        label = name.labels[i]
+        label = raw[i]
         buf.append(len(label))
         buf += label
     buf.append(0)
+
+
+def _encode_question_name(name: Name, buf: bytearray,
+                          compress: Dict[Tuple[bytes, ...], int]) -> None:
+    """Append the qname (always at offset 12) from the encode cache.
+
+    Equivalent to ``encode_name`` with an empty compression table and a
+    12-byte buffer; the cached entry carries both the wire bytes and the
+    suffix→offset seeds the rest of the message compresses against.
+    """
+    key = name.labels
+    cached = _QNAME_CACHE.get(key)
+    if cached is None:
+        tmp = bytearray(12)           # stand-in for the fixed header
+        entries: Dict[Tuple[bytes, ...], int] = {}
+        encode_name(name, tmp, entries)
+        cached = (bytes(tmp[12:]), tuple(entries.items()))
+        if len(_QNAME_CACHE) >= _QNAME_CACHE_MAX:
+            _QNAME_CACHE.clear()
+        _QNAME_CACHE[key] = cached
+    wire, entries = cached
+    buf += wire
+    compress.update(entries)
 
 
 def decode_name(wire: bytes, offset: int) -> Tuple[Name, int]:
@@ -68,7 +114,7 @@ def decode_name(wire: bytes, offset: int) -> Tuple[Name, int]:
                 raise TruncatedMessageError("compression pointer truncated")
             if end < 0:
                 end = offset + 2
-            (ptr,) = struct.unpack_from("!H", wire, offset)
+            (ptr,) = _U16.unpack_from(wire, offset)
             ptr &= 0x3FFF
             if ptr in seen:
                 raise BadPointerError("compression pointer loop")
@@ -102,8 +148,8 @@ def _encode_rr(rr: ResourceRecord, buf: bytearray,
                compress: Dict[Tuple[bytes, ...], int]) -> None:
     encode_name(rr.name, buf, compress)
     rdata = rr.rdata.to_wire()
-    buf += struct.pack("!HHIH", int(rr.rdtype), int(rr.rdclass),
-                       rr.ttl & 0xFFFFFFFF, len(rdata))
+    buf += _RRFIXED.pack(int(rr.rdtype), int(rr.rdclass),
+                         rr.ttl & 0xFFFFFFFF, len(rdata))
     buf += rdata
 
 
@@ -111,7 +157,7 @@ def _decode_rr(wire: bytes, offset: int) -> Tuple[ResourceRecord, int]:
     name, offset = decode_name(wire, offset)
     if offset + 10 > len(wire):
         raise TruncatedMessageError("record header truncated")
-    rdtype, rdclass, ttl, rdlength = struct.unpack_from("!HHIH", wire, offset)
+    rdtype, rdclass, ttl, rdlength = _RRFIXED.unpack_from(wire, offset)
     offset += 10
     if offset + rdlength > len(wire):
         raise TruncatedMessageError("rdata truncated")
@@ -153,13 +199,13 @@ def encode_message(msg: Message) -> bytes:
 
     arcount = len(msg.additional) + (1 if msg.edns is not None else 0)
     buf = bytearray()
-    buf += struct.pack("!HHHHHH", msg.msg_id & 0xFFFF, flags,
-                       1 if msg.question else 0,
-                       len(msg.answers), len(msg.authority), arcount)
+    buf += _HEADER.pack(msg.msg_id & 0xFFFF, flags,
+                        1 if msg.question else 0,
+                        len(msg.answers), len(msg.authority), arcount)
     compress: Dict[Tuple[bytes, ...], int] = {}
     if msg.question is not None:
-        encode_name(msg.question.qname, buf, compress)
-        buf += struct.pack("!HH", int(msg.question.qtype), int(msg.question.qclass))
+        _encode_question_name(msg.question.qname, buf, compress)
+        buf += _QFIXED.pack(int(msg.question.qtype), int(msg.question.qclass))
     for rr in msg.answers:
         _encode_rr(rr, buf, compress)
     for rr in msg.authority:
@@ -173,8 +219,8 @@ def encode_message(msg: Message) -> bytes:
         opt_ttl = (ext_rcode << 24) | ((edns.version & 0xFF) << 16) \
             | (0x8000 if edns.dnssec_ok else 0)
         rdata = encode_options(edns.options)
-        buf += struct.pack("!HHIH", int(RecordType.OPT),
-                           edns.payload_size & 0xFFFF, opt_ttl, len(rdata))
+        buf += _RRFIXED.pack(int(RecordType.OPT),
+                             edns.payload_size & 0xFFFF, opt_ttl, len(rdata))
         buf += rdata
     return bytes(buf)
 
@@ -188,7 +234,7 @@ def decode_message(wire: bytes) -> Message:
     if len(wire) < 12:
         raise TruncatedMessageError("message shorter than header")
     msg_id, flags, qdcount, ancount, nscount, arcount = \
-        struct.unpack_from("!HHHHHH", wire)
+        _HEADER.unpack_from(wire)
     try:
         opcode = Opcode((flags >> 11) & 0xF)
     except ValueError:
@@ -210,7 +256,7 @@ def decode_message(wire: bytes) -> Message:
         qname, offset = decode_name(wire, offset)
         if offset + 4 > len(wire):
             raise TruncatedMessageError("question truncated")
-        qtype, qclass = struct.unpack_from("!HH", wire, offset)
+        qtype, qclass = _QFIXED.unpack_from(wire, offset)
         offset += 4
         try:
             qtype_enum = RecordType(qtype)
@@ -236,7 +282,7 @@ def decode_message(wire: bytes) -> Message:
             # extended rcode / version / DO.
             _, opt_offset = decode_name(wire, start)
             rdtype, payload, opt_ttl, rdlength = \
-                struct.unpack_from("!HHIH", wire, opt_offset)
+                _RRFIXED.unpack_from(wire, opt_offset)
             ext_rcode = (opt_ttl >> 24) & 0xFF
             msg.edns = EdnsInfo(
                 payload_size=payload,

@@ -16,7 +16,7 @@ order.
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from .executor import EngineReport, run_sharded
 from .sharding import DEFAULT_SHARDS
@@ -28,25 +28,30 @@ def _build_shard(builder: Any, shard_index: int, shard_count: int) -> list:
 
 
 def generate_records(builder: Any, shards: int = DEFAULT_SHARDS,
-                     workers: int = 1
+                     workers: int = 1, chunk_size: Optional[int] = None
                      ) -> Tuple[List[list], EngineReport]:
     """Generate all shards of ``builder``; returns per-shard record lists.
 
     The lists come back in shard order, each sorted by timestamp — ready
     for :func:`repro.datasets.records.write_jsonl_shards` or for
-    ``builder.assemble``.
+    ``builder.assemble``.  ``chunk_size`` batches shard dispatch (the
+    builder pickles once per chunk instead of once per shard); it never
+    affects the generated records.
     """
     if shards <= 0:
         raise ValueError("shards must be >= 1")
     name = type(builder).__name__
     shard_args = [(builder, i, shards) for i in range(shards)]
     return run_sharded(_build_shard, shard_args, workers=workers,
-                       task=f"generate:{name}")
+                       task=f"generate:{name}", chunk_size=chunk_size)
 
 
 def generate_dataset(builder: Any, shards: int = DEFAULT_SHARDS,
-                     workers: int = 1) -> Tuple[Any, EngineReport]:
+                     workers: int = 1,
+                     chunk_size: Optional[int] = None
+                     ) -> Tuple[Any, EngineReport]:
     """Generate and assemble a full dataset object from shards."""
     shard_lists, report = generate_records(builder, shards=shards,
-                                           workers=workers)
+                                           workers=workers,
+                                           chunk_size=chunk_size)
     return builder.assemble(shard_lists), report

@@ -1,8 +1,9 @@
 """Simulated internet: virtual time, geography, addressing, transport."""
 
 from .addr import (AddressAllocator, address_width, host_in, is_routable,
-                   prefix_key, prefix_text, random_address_in, same_prefix,
-                   truncate_address)
+                   parse_addr, prefix_key, prefix_key_int, prefix_text,
+                   random_address_in, same_prefix, truncate_address,
+                   truncate_int)
 from .clock import SimClock
 from .geo import (WORLD_CITIES, City, GeoDatabase, GeoPoint, cities_in, city,
                   haversine_km)
@@ -15,6 +16,7 @@ __all__ = [
     "Endpoint", "GeoDatabase", "GeoPoint", "LatencyModel", "Network",
     "NetworkStats", "QueryOutcome", "SimClock", "Topology", "WORLD_CITIES",
     "address_width", "cities_in", "city", "haversine_km", "host_in",
-    "is_routable", "prefix_key", "prefix_text", "random_address_in",
-    "same_prefix", "truncate_address",
+    "is_routable", "parse_addr", "prefix_key", "prefix_key_int",
+    "prefix_text", "random_address_in", "same_prefix", "truncate_address",
+    "truncate_int",
 ]

@@ -11,10 +11,78 @@ from __future__ import annotations
 
 import ipaddress
 import random
+from functools import lru_cache
 from typing import Iterator, Tuple, Union
 
 IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
 IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+
+# ---------------------------------------------------------------------------
+# Integer-native fast lane
+#
+# The replay and cache hot paths call prefix arithmetic once per simulated
+# query; constructing an ``ipaddress`` object each time dominates their
+# profile.  The primitives below work on plain ``(version, int)`` pairs with
+# precomputed mask tables, and an LRU-interned parse cache absorbs the
+# repeated client-address strings every trace contains.  Each fast function
+# is pinned byte-for-byte to its readable reference implementation further
+# down this module by ``tests/test_fastpath_equivalence.py``.
+
+#: ``MASKS4[bits]`` is the 32-bit netmask keeping the first ``bits`` bits.
+MASKS4: Tuple[int, ...] = tuple(
+    ((1 << b) - 1) << (32 - b) if b else 0 for b in range(33))
+#: ``MASKS6[bits]`` is the 128-bit netmask keeping the first ``bits`` bits.
+MASKS6: Tuple[int, ...] = tuple(
+    ((1 << b) - 1) << (128 - b) if b else 0 for b in range(129))
+
+#: Mask table per address family, indexed by version.
+_MASKS_BY_VERSION = {4: MASKS4, 6: MASKS6}
+
+
+@lru_cache(maxsize=65536)
+def _parse_addr_str(address: str) -> Tuple[int, int]:
+    """Parse a textual address into ``(version, int)``, LRU-interned."""
+    addr = ipaddress.ip_address(address)
+    return addr.version, int(addr)
+
+
+def parse_addr(address: Union[str, IPAddress]) -> Tuple[int, int]:
+    """``(version, integer value)`` of an address, cached for strings.
+
+    The hot-path entry point: trace records carry addresses as strings, and
+    real traces repeat the same clients constantly, so the string parse is
+    memoized.  Address objects are converted directly (no cache needed —
+    both fields are O(1) accessors).
+    """
+    if isinstance(address, str):
+        return _parse_addr_str(address)
+    return address.version, int(address)
+
+
+def truncate_int(version: int, value: int, bits: int) -> int:
+    """Integer form of :func:`truncate_address`: mask ``value`` to ``bits``.
+
+    Pure shift/mask arithmetic via the precomputed per-family tables.
+    Raises :class:`ValueError` for a prefix length outside the family
+    width, matching the reference implementation.
+    """
+    try:
+        if bits < 0:
+            raise IndexError
+        return value & _MASKS_BY_VERSION[version][bits]
+    except (IndexError, KeyError):
+        raise ValueError(
+            f"prefix length {bits} out of range for IPv{version}") from None
+
+
+def prefix_key_int(version: int, value: int,
+                   bits: int) -> Tuple[int, int, int]:
+    """Integer-native :func:`prefix_key`: no address objects constructed.
+
+    Returns the identical ``(version, bits, truncated-integer)`` tuple the
+    reference produces, so the two are interchangeable as dict keys.
+    """
+    return (version, bits, truncate_int(version, value, bits))
 
 
 def address_width(address: Union[str, IPAddress]) -> int:

@@ -1,0 +1,60 @@
+"""Unit tests for the bench-diff gate (benchmarks/compare_bench.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+SCRIPT = Path(__file__).parent.parent / "benchmarks" / "compare_bench.py"
+
+spec = importlib.util.spec_from_file_location("compare_bench", SCRIPT)
+compare_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_bench)
+
+
+OLD = {
+    "prefix_keying": {"records": 1000, "reference_rps": 100_000.0,
+                      "fast_rps": 1_000_000.0, "speedup": 10.0},
+    "replay": {"records_per_second": 50_000.0, "workers": 4},
+    "retired_bench": {"fast_rps": 123.0},
+}
+
+
+def test_no_regression_within_threshold():
+    new = json.loads(json.dumps(OLD))
+    new["prefix_keying"]["fast_rps"] = 900_000.0      # -10%: fine
+    del new["retired_bench"]
+    new["brand_new"] = {"fast_rps": 42.0}
+    lines, regressions = compare_bench.compare(OLD, new, threshold=0.25)
+    assert regressions == []
+    assert any("RETIRED" in line for line in lines)
+    assert any("NEW" in line for line in lines)
+
+
+def test_regression_beyond_threshold():
+    new = json.loads(json.dumps(OLD))
+    new["replay"]["records_per_second"] = 30_000.0    # -40%: regression
+    _, regressions = compare_bench.compare(OLD, new, threshold=0.25)
+    assert len(regressions) == 1
+    assert "replay.records_per_second" in regressions[0]
+
+
+def test_non_throughput_fields_ignored():
+    new = json.loads(json.dumps(OLD))
+    new["prefix_keying"]["records"] = 1               # not a throughput key
+    new["prefix_keying"]["speedup"] = 0.1             # ratio, not rec/s
+    _, regressions = compare_bench.compare(OLD, new, threshold=0.25)
+    assert regressions == []
+
+
+def test_main_exit_codes(tmp_path):
+    old_path = tmp_path / "old.json"
+    new_path = tmp_path / "new.json"
+    old_path.write_text(json.dumps(OLD))
+    new_path.write_text(json.dumps(OLD))
+    assert compare_bench.main([str(old_path), str(new_path)]) == 0
+    bad = json.loads(json.dumps(OLD))
+    bad["replay"]["records_per_second"] = 1.0
+    new_path.write_text(json.dumps(bad))
+    assert compare_bench.main([str(old_path), str(new_path)]) == 1

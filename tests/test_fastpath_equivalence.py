@@ -1,0 +1,247 @@
+"""Equivalence layer: every fast lane pinned to its readable reference.
+
+The perf work (integer-native prefix arithmetic, codec caching, batched
+replay) is only admissible because each fast path produces byte-identical
+output to the reference implementation it shadows.  This suite asserts
+that agreement with hypothesis over random IPv4/IPv6 inputs plus the edge
+prefix lengths (0, 32, 128), and over random names/options for the codec
+caches.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.cache_sim import (public_cdn_blowups, replay_partial,
+                                      replay_partial_batched)
+from repro.core.cache import ScopeTracker
+from repro.datasets.allnames import AllNamesBuilder
+from repro.datasets.public_cdn import PublicCdnBuilder
+from repro.dnslib import (EcsOption, EdnsInfo, Message, Name, Question,
+                          RecordType, decode_message, encode_message,
+                          encode_options)
+from repro.dnslib.edns import clear_options_cache
+from repro.dnslib.wire import clear_codec_caches
+from repro.net.addr import (MASKS4, MASKS6, parse_addr, prefix_key,
+                            prefix_key_int, truncate_address, truncate_int)
+
+# -- strategies --------------------------------------------------------------
+
+v4_ints = st.integers(min_value=0, max_value=2**32 - 1)
+v6_ints = st.integers(min_value=0, max_value=2**128 - 1)
+v4_bits = st.integers(min_value=0, max_value=32)
+v6_bits = st.integers(min_value=0, max_value=128)
+
+labels = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                 min_size=1, max_size=12).filter(
+    lambda s: not s.startswith("-") and not s.endswith("-"))
+names = st.lists(labels, min_size=1, max_size=5).map(
+    lambda parts: Name.from_text(".".join(parts)))
+
+
+# -- integer-native prefix arithmetic ---------------------------------------
+
+
+class TestPrefixFastLane:
+    @given(v4_ints, v4_bits)
+    def test_truncate_int_v4(self, value, bits):
+        addr = ipaddress.IPv4Address(value)
+        assert truncate_int(4, value, bits) == int(truncate_address(addr, bits))
+
+    @given(v6_ints, v6_bits)
+    def test_truncate_int_v6(self, value, bits):
+        addr = ipaddress.IPv6Address(value)
+        assert truncate_int(6, value, bits) == int(truncate_address(addr, bits))
+
+    @given(v4_ints, v4_bits)
+    def test_prefix_key_int_v4(self, value, bits):
+        text = str(ipaddress.IPv4Address(value))
+        assert prefix_key_int(*parse_addr(text), bits) == prefix_key(text, bits)
+
+    @given(v6_ints, v6_bits)
+    def test_prefix_key_int_v6(self, value, bits):
+        text = str(ipaddress.IPv6Address(value))
+        assert prefix_key_int(*parse_addr(text), bits) == prefix_key(text, bits)
+
+    @pytest.mark.parametrize("address,bits", [
+        ("0.0.0.0", 0), ("255.255.255.255", 0),
+        ("0.0.0.0", 32), ("255.255.255.255", 32),
+        ("::", 0), ("::", 128),
+        ("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff", 128),
+        ("2610:1:2::9", 48), ("192.0.2.77", 24),
+    ])
+    def test_edge_bits(self, address, bits):
+        assert prefix_key_int(*parse_addr(address), bits) == \
+            prefix_key(address, bits)
+
+    @given(v4_ints)
+    def test_parse_addr_roundtrip(self, value):
+        text = str(ipaddress.IPv4Address(value))
+        assert parse_addr(text) == (4, value)
+        assert parse_addr(ipaddress.IPv4Address(value)) == (4, value)
+
+    def test_mask_tables(self):
+        assert len(MASKS4) == 33 and len(MASKS6) == 129
+        assert MASKS4[0] == 0 and MASKS4[32] == 2**32 - 1
+        assert MASKS6[0] == 0 and MASKS6[128] == 2**128 - 1
+        assert MASKS4[24] == 0xFFFFFF00
+
+    def test_out_of_range_bits_raise(self):
+        with pytest.raises(ValueError):
+            truncate_int(4, 0, 33)
+        with pytest.raises(ValueError):
+            truncate_int(6, 0, 129)
+        with pytest.raises(ValueError):
+            truncate_int(5, 0, 8)   # unknown family
+        with pytest.raises(ValueError):
+            prefix_key_int(4, 0, -1)
+
+
+# -- scope-tracker keying ----------------------------------------------------
+
+
+class TestTrackerKeying:
+    @given(v4_ints, st.integers(min_value=1, max_value=32))
+    def test_fast_and_reference_keys_agree(self, value, scope):
+        client = str(ipaddress.IPv4Address(value))
+        fast = ScopeTracker(fast=True)
+        ref = ScopeTracker(fast=False)
+        assert fast._key("q.example.", 1, client, scope) == \
+            ref._key("q.example.", 1, client, scope)
+
+    def test_global_keys_unchanged(self):
+        tracker = ScopeTracker(fast=True)
+        assert tracker._key("q.", 1, None, 24) == ("q.", 1)
+        assert tracker._key("q.", 1, "192.0.2.1", 0) == ("q.", 1)
+
+
+# -- codec caches ------------------------------------------------------------
+
+
+class TestCodecCaches:
+    @given(names, st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=60)
+    def test_qname_cache_identical_bytes(self, name, msg_id):
+        msg = Message(msg_id=msg_id)
+        msg.question = Question(name, RecordType.A)
+        clear_codec_caches()
+        cold = encode_message(msg)
+        warm = encode_message(msg)       # second encode hits the cache
+        assert warm == cold
+        assert decode_message(warm).question.qname == name
+
+    @given(v4_ints, st.integers(min_value=0, max_value=24))
+    @settings(max_examples=60)
+    def test_options_cache_identical_bytes(self, value, source):
+        ecs = EcsOption.from_client_address(
+            str(ipaddress.IPv4Address(value)), source)
+        clear_options_cache()
+        cold = encode_options([ecs])
+        warm = encode_options([ecs])
+        assert warm == cold
+        assert EcsOption.from_wire(cold[4:]) == ecs
+
+    @given(names)
+    @settings(max_examples=60)
+    def test_from_text_interning(self, name):
+        text = name.to_text()
+        again = Name.from_text(text)
+        assert again == name
+        assert Name.from_text(text) is Name.from_text(text)
+
+    def test_folded_matches_lowercase(self):
+        name = Name.from_text("WwW.ExAmple.COM")
+        assert name.folded == tuple(lab.lower() for lab in name.labels)
+
+    def test_ecs_option_in_message_roundtrip(self):
+        msg = Message(msg_id=7)
+        msg.question = Question(Name.from_text("a.example.com"), RecordType.A)
+        msg.edns = EdnsInfo(options=[
+            EcsOption.from_client_address("192.0.2.77", 24)])
+        clear_codec_caches()
+        clear_options_cache()
+        wire_cold = encode_message(msg)
+        wire_warm = encode_message(msg)
+        assert wire_cold == wire_warm
+        decoded = decode_message(wire_warm)
+        assert decoded.edns.find_ecs() == msg.edns.find_ecs()
+
+
+# -- batched replay ----------------------------------------------------------
+
+
+class TestBatchedReplay:
+    def test_batched_equals_reference_allnames(self):
+        records = AllNamesBuilder(scale=0.05, seed=3).build().records
+        ref = replay_partial(records,
+                             client_of=lambda r: r.client_ip,
+                             scope_of=lambda r: r.scope,
+                             ttl_of=lambda r: r.ttl,
+                             fast=False)
+        assert replay_partial_batched(records, "client_ip") == ref
+
+    def test_batched_equals_reference_public_cdn(self):
+        records = PublicCdnBuilder(scale=0.005, seed=3,
+                                   duration_s=600.0).build().records
+        ref = replay_partial(records,
+                             client_of=lambda r: r.ecs_address,
+                             scope_of=lambda r: r.scope,
+                             ttl_of=lambda r: r.ttl)
+        assert replay_partial_batched(records, "ecs_address") == ref
+
+    def test_ttl_override_constant(self):
+        records = PublicCdnBuilder(scale=0.005, seed=3,
+                                   duration_s=600.0).build().records
+        ref = replay_partial(records,
+                             client_of=lambda r: r.ecs_address,
+                             scope_of=lambda r: r.scope,
+                             ttl_of=lambda r: 40)
+        assert replay_partial_batched(records, "ecs_address",
+                                      ttl_override=40) == ref
+
+
+# -- regression: TTL-0 override ---------------------------------------------
+
+
+class TestTtlZeroOverride:
+    def test_ttl_zero_is_honored(self):
+        """``public_cdn_blowups(ttl=0)`` must apply the override, not fall
+        back to the trace TTL (the old ``if ttl`` truthiness bug)."""
+        dataset = PublicCdnBuilder(scale=0.005, seed=3,
+                                   duration_s=600.0).build()
+        zero = public_cdn_blowups(dataset, ttl=0)
+        trace = public_cdn_blowups(dataset)
+        # With TTL 0 nothing survives to be reused, so every resolver's
+        # with/without-ECS peaks match pairwise: blow-up exactly 1.0.
+        assert zero and all(b == 1.0 for b in zero)
+        # The trace TTL (20 s) produces real blow-up for busy resolvers.
+        assert max(trace) > 1.0
+
+    def test_ttl_override_still_works(self):
+        dataset = PublicCdnBuilder(scale=0.005, seed=3,
+                                   duration_s=600.0).build()
+        assert public_cdn_blowups(dataset, ttl=40) != \
+            public_cdn_blowups(dataset, ttl=0)
+
+
+# -- slots -------------------------------------------------------------------
+
+
+class TestSlots:
+    def test_record_dataclasses_have_no_dict(self):
+        from repro.datasets.records import (AllNamesRecord, CdnQueryRecord,
+                                            PublicCdnRecord, RootQueryRecord,
+                                            ScanQueryRecord)
+        record = AllNamesRecord(0.0, "192.0.2.1", "a.example.", 1, 24, 60)
+        assert not hasattr(record, "__dict__")
+        for klass in (AllNamesRecord, CdnQueryRecord, PublicCdnRecord,
+                      RootQueryRecord, ScanQueryRecord):
+            assert "__slots__" in klass.__dict__
+
+    def test_cache_entry_has_no_dict(self):
+        from repro.core.cache import _Entry
+        entry = _Entry(None, None, None, Message(), 0.0, 1.0)
+        assert not hasattr(entry, "__dict__")
