@@ -26,6 +26,10 @@ BENCH_ENGINE_JSON = RESULTS_DIR / "BENCH_engine.json"
 #: Where the hot-path fast-lane numbers land (reference vs fast rec/s).
 BENCH_HOTPATH_JSON = RESULTS_DIR / "BENCH_hotpath.json"
 
+#: Where the observability-overhead numbers land (off vs metrics vs
+#: traced rec/s on the batched replay path).
+BENCH_OBS_JSON = RESULTS_DIR / "BENCH_obs.json"
+
 
 def pytest_collection_modifyitems(items) -> None:
     """Mark everything under benchmarks/ so ``-m "not bench"`` skips it.
@@ -71,6 +75,23 @@ def hotpath_bench(report_dir):
     if samples:
         BENCH_HOTPATH_JSON.write_text(json.dumps(samples, indent=2,
                                                  sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def obs_bench(report_dir):
+    """Collects observability overhead samples; written to BENCH_obs.json.
+
+    Each sample is ``name -> {records, disabled_rps, metrics_rps,
+    traced_rps, ...}`` — throughput of one instrumented path with
+    collection off versus on, so ``compare_bench.py`` (which treats any
+    ``*_rps`` key as a throughput metric) tracks the disabled-path cost
+    across PRs.
+    """
+    samples = {}
+    yield samples
+    if samples:
+        BENCH_OBS_JSON.write_text(json.dumps(samples, indent=2,
+                                             sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

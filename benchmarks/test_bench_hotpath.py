@@ -166,3 +166,42 @@ def test_hotpath_replay(hotpath_bench):
     # "Measurable end-to-end speedup": well clear of timing noise
     # (measured ~4-5x in development).
     assert hotpath_bench["replay_allnames"]["speedup"] >= 1.2
+
+
+@pytest.mark.hotpath
+def test_hotpath_replay_obs_disabled_is_free(hotpath_bench):
+    """The engine's instrumented replay entry point vs the bare loop.
+
+    With no registry or tracer active, ``_replay_shard`` adds exactly two
+    module-global loads per *shard* on top of ``replay_partial_batched``
+    (the per-record loop is untouched), so its throughput must sit within
+    timing noise of the bare fast lane.  This is the delta guard for the
+    PR-2 fast paths: any per-record instrumentation creeping into the
+    disabled path shows up here as a throughput drop.
+    """
+    from repro.engine.replay import _replay_shard
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    assert obs_metrics.ACTIVE is None and obs_trace.ACTIVE is None
+    dataset = AllNamesBuilder(scale=0.25 * SCALE, seed=42).build()
+    records = dataset.records
+
+    start = time.perf_counter()
+    bare = replay_partial_batched(records, "client_ip")
+    bare_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    instrumented = _replay_shard(records, "allnames")
+    instrumented_seconds = time.perf_counter() - start
+
+    assert instrumented == bare
+    bare_rps = _rate(len(records), bare_seconds)
+    instrumented_rps = _rate(len(records), instrumented_seconds)
+    hotpath_bench["replay_obs_disabled"] = {
+        "records": len(records),
+        "bare_rps": round(bare_rps, 1),
+        "instrumented_rps": round(instrumented_rps, 1),
+        "ratio": round(instrumented_rps / bare_rps, 3) if bare_rps else 0.0,
+    }
+    assert instrumented_rps >= 0.8 * bare_rps

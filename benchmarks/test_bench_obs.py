@@ -1,0 +1,80 @@
+"""Observability overhead benchmarks: collection off vs on.
+
+The design contract of ``repro.obs`` is that *disabled* collection is
+free on the PR-2 fast paths (one module-global load per instrumented
+call, and the batched replay loop contains none at all) and that
+*enabled* metrics stay cheap because the replay path records per-shard
+aggregates after the hot loop rather than per-record samples.  These
+benchmarks measure all three modes over the same batched replay and
+write ``benchmarks/results/BENCH_obs.json`` via the ``obs_bench``
+fixture; ``compare_bench.py`` picks the ``*_rps`` keys up automatically.
+
+Scale with ``HOTPATH_BENCH_SCALE`` (default 1.0; CI smoke uses 0.1).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.cache_sim import replay_partial_batched
+from repro.datasets.allnames import AllNamesBuilder
+from repro.engine.replay import _replay_shard
+from repro.obs import observe
+
+SCALE = float(os.environ.get("HOTPATH_BENCH_SCALE", "1.0"))
+
+#: Enabled-metrics throughput floor vs disabled (per-shard aggregate
+#: recording must stay within timing noise of the bare loop).
+METRICS_FLOOR = 0.8
+
+#: Traced throughput floor: spans are per-record (capped per shard), so
+#: the traced lane is allowed to be slower, but not catastrophically.
+TRACED_FLOOR = 0.2
+
+
+@pytest.fixture(scope="module")
+def replay_records():
+    return AllNamesBuilder(scale=0.25 * SCALE, seed=42).build().records
+
+
+def _time_replay(records):
+    start = time.perf_counter()
+    partial = _replay_shard(records, "allnames")
+    return partial, time.perf_counter() - start
+
+
+@pytest.mark.hotpath
+def test_obs_overhead_on_replay(obs_bench, replay_records):
+    """Disabled vs metrics-enabled vs traced throughput, same records."""
+    records = replay_records
+    baseline = replay_partial_batched(records, "client_ip")
+
+    disabled_partial, disabled_seconds = _time_replay(records)
+    with observe(metrics=True):
+        metrics_partial, metrics_seconds = _time_replay(records)
+    with observe(metrics=True, tracing=True):
+        traced_partial, traced_seconds = _time_replay(records)
+
+    # Collection never changes results: all three modes are
+    # counter-identical to the bare batched replay.
+    assert disabled_partial == baseline
+    assert metrics_partial == baseline
+    assert traced_partial == baseline
+
+    n = len(records)
+    disabled_rps = n / disabled_seconds
+    metrics_rps = n / metrics_seconds
+    traced_rps = n / traced_seconds
+    obs_bench["replay_allnames_obs"] = {
+        "records": n,
+        "disabled_rps": round(disabled_rps, 1),
+        "metrics_rps": round(metrics_rps, 1),
+        "traced_rps": round(traced_rps, 1),
+        "metrics_ratio": round(metrics_rps / disabled_rps, 3),
+        "traced_ratio": round(traced_rps / disabled_rps, 3),
+    }
+    assert metrics_rps >= METRICS_FLOOR * disabled_rps
+    assert traced_rps >= TRACED_FLOOR * disabled_rps

@@ -23,7 +23,8 @@ from .prefixlen import (Table1, build_table1, cdn_prefix_profiles,
 from .privacy import (PrivacyOutcome, PrivacyStudy, run_privacy_study)
 from .probing import (ProbingAnalysis, RootViolationAnalysis,
                       analyze_probing, analyze_root_violations)
-from .report import Comparison, cdf_table, format_comparisons, format_table
+from .report import (Comparison, cdf_table, format_comparisons,
+                     format_network_stats, format_table)
 from .summary import (summarize_allnames, summarize_cdn,
                       summarize_public_cdn, summarize_scan)
 from .unroutable import Table2, UnroutableLab, run_table2
@@ -46,7 +47,8 @@ __all__ = [
     "export_all", "export_fig1", "export_fig2", "export_fig3",
     "export_fig45", "export_fig67",
     "cdn_prefix_profiles", "crossover_prefix_length", "fig1_series",
-    "fig2_series", "fig3_series", "format_comparisons", "format_table",
+    "fig2_series", "fig3_series", "format_comparisons",
+    "format_network_stats", "format_table",
     "measure_mapping_quality", "merge_partials", "percentile",
     "public_cdn_blowups", "replay", "replay_partial",
     "run_flattening_case_study", "run_table2", "run_whitelist_comparison",

@@ -59,6 +59,25 @@ def format_comparisons(items: Sequence[Comparison], title: str) -> str:
         title=title)
 
 
+def format_network_stats(stats, title: str = "Network traffic") -> str:
+    """Render a :class:`repro.net.transport.NetworkStats` snapshot.
+
+    Takes the stats object duck-typed (rather than importing the network
+    layer) so analysis stays import-light; any object with ``datagrams``,
+    ``bytes_sent``, ``timeouts``, ``drops`` and the ``timeout_rate()`` /
+    ``drop_rate()`` accessors renders.
+    """
+    return format_table(
+        ("metric", "value"),
+        [("datagrams sent", stats.datagrams),
+         ("bytes sent", stats.bytes_sent),
+         ("timeouts", stats.timeouts),
+         ("drops", stats.drops),
+         ("timeout rate", f"{stats.timeout_rate():.2%}"),
+         ("drop rate", f"{stats.drop_rate():.2%}")],
+        title=title)
+
+
 def cdf_table(series: Dict[str, Sequence[float]],
               quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
               title: str = "CDF") -> str:

@@ -76,6 +76,8 @@ class MappingDecision:
 class CdnAuthoritative(DnsServer):
     """Authoritative server of a CDN using ECS for user mapping."""
 
+    span_name = "authoritative"
+
     def __init__(self, ip: str, domains: Sequence[Name],
                  edges: Sequence[EdgePool], topology: Topology,
                  ttl: int = 20,

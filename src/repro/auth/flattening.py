@@ -32,6 +32,8 @@ class FlatteningProvider(DnsServer):
       chases it to the CDN itself, carrying its own ECS).
     """
 
+    span_name = "authoritative"
+
     def __init__(self, ip: str, zone_apex: Name, cdn_auth_ip: str,
                  apex_target: Name, www_target: Name,
                  forward_ecs: bool = False, ttl: int = 60):

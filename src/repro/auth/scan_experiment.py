@@ -66,6 +66,8 @@ class ScanObservation:
 class ScanExperimentServer(DnsServer):
     """Authoritative for the experiment domain; answers everything."""
 
+    span_name = "authoritative"
+
     def __init__(self, ip: str, domain: Name, answer_address: str,
                  ttl: int = 60, scope_delta: int = 4):
         super().__init__(ip)

@@ -14,6 +14,8 @@ from typing import Callable, List, Optional, Sequence
 from ..dnslib import (DnsError, EcsOption, Message, Name, Rcode, RecordType,
                       WireFormatError, Zone, decode_message, encode_message)
 from ..net.transport import Network
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
 
 
 @dataclass
@@ -61,6 +63,11 @@ def source_minus(delta: int) -> ScopeFunction:
 class DnsServer:
     """Base class: wire decode → ``handle_query`` → wire encode, plus a log."""
 
+    #: Span name this endpoint contributes to a query-lifecycle trace;
+    #: subclasses override it to their role (``resolve``, ``forward``,
+    #: ``authoritative``) so traces read as client → chain → origin.
+    span_name = "serve"
+
     def __init__(self, ip: str, log_queries: bool = True):
         self.ip = ip
         self.log_queries = log_queries
@@ -76,11 +83,32 @@ class DnsServer:
             query = decode_message(wire)
         except WireFormatError:
             return None
-        try:
-            response = self.handle_query(query, src_ip, net)
-        except DnsError:
-            response = query.make_response()
-            response.rcode = Rcode.SERVFAIL
+        tracer = _obs_trace.ACTIVE
+        if tracer is None:
+            response = self._respond(query, src_ip, net)
+        else:
+            with tracer.span(self.span_name, server=self.ip,
+                             role=type(self).__name__, client=src_ip,
+                             tcp=tcp) as span:
+                if query.question is not None:
+                    span.attrs["qname"] = query.question.qname.to_text()
+                    span.attrs["qtype"] = int(query.question.qtype)
+                ecs_in = query.ecs()
+                if ecs_in is not None:
+                    span.attrs["ecs_address"] = str(ecs_in.address)
+                    span.attrs["ecs_source_len"] = ecs_in.source_prefix_length
+                response = self._respond(query, src_ip, net)
+                if response is not None:
+                    span.attrs["rcode"] = int(response.rcode)
+                    ecs_out = response.ecs()
+                    if ecs_out is not None:
+                        span.attrs["ecs_scope_out"] = \
+                            ecs_out.scope_prefix_length
+        reg = _obs_metrics.ACTIVE
+        if reg is not None:
+            reg.counter("repro_server_queries_total",
+                        "Queries received, by endpoint role.",
+                        ("role",)).inc(1, type(self).__name__)
         if response is None:
             return None
         self._log(query, response, src_ip, net)
@@ -95,6 +123,16 @@ class DnsServer:
                 truncated.truncated = True
                 response_wire = encode_message(truncated)
         return response_wire
+
+    def _respond(self, query: Message, src_ip: str,
+                 net: Network) -> Optional[Message]:
+        """``handle_query`` with the shared SERVFAIL-on-error behavior."""
+        try:
+            return self.handle_query(query, src_ip, net)
+        except DnsError:
+            response = query.make_response()
+            response.rcode = Rcode.SERVFAIL
+            return response
 
     def _log(self, query: Message, response: Message, src_ip: str,
              net: Network) -> None:
@@ -131,6 +169,8 @@ class AuthoritativeServer(DnsServer):
     server with no ECS support — options in queries are silently ignored and
     responses carry no ECS, exactly how RFC 7871 says non-adopters behave.
     """
+
+    span_name = "authoritative"
 
     def __init__(self, ip: str, zones: Sequence[Zone],
                  ecs_scope: Optional[ScopeFunction] = None,

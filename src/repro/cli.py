@@ -34,7 +34,8 @@ from typing import Callable, Dict, List, Optional
 from .analysis import (analyze_caching_behavior, analyze_discovery,
                        analyze_hidden_resolvers, analyze_probing,
                        analyze_root_violations, build_table1, cdf_table,
-                       fig1_series, fig2_series, fig3_series, format_table,
+                       fig1_series, fig2_series, fig3_series,
+                       format_network_stats, format_table,
                        run_flattening_case_study, run_table2, summarize_scan)
 from .analysis.flattening import FlatteningLab
 from .analysis.mapping_quality import (MappingQualityLab,
@@ -47,16 +48,20 @@ from .datasets import (AllNamesBuilder, CdnDatasetBuilder, PublicCdnBuilder,
 from .datasets.ditl import generate_root_trace
 from .datasets.records import AllNamesRecord, CdnQueryRecord, PublicCdnRecord
 from .engine import DEFAULT_SHARDS, generate_dataset, generate_records
+from .engine.executor import EngineReport
 from .engine.replay import replay_sharded
 from .measure import Scanner
+from .obs import observe, profile_call, write_prometheus, write_spans_jsonl
 
 
 class _Reporter:
     """Collects report sections, printing and optionally saving them."""
 
-    def __init__(self, out_dir: Optional[str], quiet: bool = False):
+    def __init__(self, out_dir: Optional[str], quiet: bool = False,
+                 show_report: bool = False):
         self.out_dir = Path(out_dir) if out_dir else None
         self.quiet = quiet
+        self.show_report = show_report
         if self.out_dir:
             self.out_dir.mkdir(parents=True, exist_ok=True)
 
@@ -85,6 +90,17 @@ class _Reporter:
         if not self.quiet:
             print(text)
 
+    def engine(self, report: EngineReport) -> None:
+        """Print an engine run's throughput note.
+
+        The single choke point for engine output: every engine-flag
+        command routes through here, so ``--quiet`` suppresses the notes
+        uniformly and ``--report`` switches all of them from the one-line
+        summary to the full per-shard breakdown.  Like :meth:`note`,
+        never written to report files.
+        """
+        self.note(report.report() if self.show_report else report.summary())
+
 
 def cmd_scan(args: argparse.Namespace, reporter: _Reporter) -> None:
     """The active campaign: scan, discovery, Table 1, hidden resolvers."""
@@ -97,6 +113,8 @@ def cmd_scan(args: argparse.Namespace, reporter: _Reporter) -> None:
                   build_table1(scan_result=result).report())
     reporter.emit("hidden",
                   analyze_hidden_resolvers(universe, result).report())
+    reporter.emit("network_scan", format_network_stats(
+        universe.net.stats, title="Network traffic (scan campaign)"))
 
 
 def cmd_census(args: argparse.Namespace, reporter: _Reporter) -> None:
@@ -116,6 +134,8 @@ def cmd_caching(args: argparse.Namespace, reporter: _Reporter) -> None:
                                    ingress_count=args.ingress).build()
     reporter.emit("caching_behavior",
                   analyze_caching_behavior(universe).report())
+    reporter.emit("network_caching", format_network_stats(
+        universe.net.stats, title="Network traffic (caching experiment)"))
 
 
 def cmd_blowup(args: argparse.Namespace, reporter: _Reporter) -> None:
@@ -124,7 +144,7 @@ def cmd_blowup(args: argparse.Namespace, reporter: _Reporter) -> None:
                                duration_s=args.hours * 3600.0)
     public_cdn, engine_report = generate_dataset(builder, shards=args.shards,
                                                  workers=args.workers)
-    reporter.note(engine_report.summary())
+    reporter.engine(engine_report)
     series = fig1_series(public_cdn, ttls=(20, 40, 60))
     reporter.emit("fig1", cdf_table(
         {f"TTL {t}s": v for t, v in series.items()},
@@ -133,7 +153,7 @@ def cmd_blowup(args: argparse.Namespace, reporter: _Reporter) -> None:
     allnames, engine_report = generate_dataset(
         AllNamesBuilder(scale=args.allnames_scale, seed=args.seed),
         shards=args.shards, workers=args.workers)
-    reporter.note(engine_report.summary())
+    reporter.engine(engine_report)
     fractions = (0.1, 0.25, 0.5, 0.75, 1.0)
     f2 = fig2_series(allnames, fractions=fractions, seeds=(1, 2))
     reporter.emit("fig2", format_table(
@@ -189,7 +209,7 @@ def cmd_generate(args: argparse.Namespace, reporter: _Reporter) -> None:
     count = merge_jsonl_shards(paths, out)
     for path in paths:
         path.unlink()
-    reporter.note(engine_report.summary())
+    reporter.engine(engine_report)
     reporter.note(f"wrote {count} {args.dataset} records to {args.file}")
 
 
@@ -207,7 +227,7 @@ def cmd_replay(args: argparse.Namespace, reporter: _Reporter) -> None:
     result, engine_report = replay_sharded(records, args.dataset,
                                            shards=args.shards,
                                            workers=args.workers)
-    reporter.note(engine_report.summary())
+    reporter.engine(engine_report)
     reporter.emit("replay", format_table(
         ("metric", "value"),
         [("records replayed", len(records)),
@@ -249,6 +269,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quiet", action="store_true",
                         help="suppress stdout (reports still write to --out);"
                              " keeps shard workers from interleaving output")
+    parser.add_argument("--report", action="store_true",
+                        help="print the full per-shard engine breakdown "
+                             "instead of the one-line summary")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="collect runtime metrics and write them in "
+                             "Prometheus text format (out-of-band: reports "
+                             "are byte-identical with or without)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="record query-lifecycle spans and write them "
+                             "as JSONL (out-of-band, like --metrics-out)")
+    parser.add_argument("--profile", default=None, metavar="FILE",
+                        help="run under cProfile and write the hottest "
+                             "cumulative-time functions to FILE")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def positive_int(value: str) -> int:
@@ -317,17 +350,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    reporter = _Reporter(args.out, quiet=args.quiet)
+def _dispatch(args: argparse.Namespace, reporter: _Reporter) -> None:
+    """Run the selected command (or, for ``all``, every analysis)."""
     if args.command == "all":
         for name, command in _ANALYSIS_COMMANDS.items():
             reporter.note(f"### {name}\n")
             command(args, reporter)
-        return 0
+        return
     _COMMANDS[args.command](args, reporter)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Observability flags wrap the whole command: metrics/tracing activate
+    before any experiment runs and export after it finishes, so one
+    ``.prom`` / one span JSONL covers everything the command did
+    (including all sub-commands of ``all``).  The collectors are
+    out-of-band — reports are byte-identical with the flags on or off.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    reporter = _Reporter(args.out, quiet=args.quiet,
+                         show_report=args.report)
+    want_metrics = args.metrics_out is not None
+    want_traces = args.trace_out is not None
+    with observe(metrics=want_metrics, tracing=want_traces) as session:
+        if args.profile is not None:
+            _, stats_text = profile_call(
+                _dispatch, args, reporter,
+                title=f"repro-ecs {args.command}")
+            path = Path(args.profile)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(stats_text + "\n")
+            reporter.note(f"wrote profile to {args.profile}")
+        else:
+            _dispatch(args, reporter)
+    if want_metrics:
+        write_prometheus(session.registry, args.metrics_out)
+        reporter.note(f"wrote metrics to {args.metrics_out}")
+    if want_traces:
+        write_spans_jsonl(session.tracer.spans, args.trace_out,
+                          dropped=session.tracer.dropped)
+        reporter.note(f"wrote {len(session.tracer.spans)} spans "
+                      f"to {args.trace_out}")
     return 0
 
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..dnslib import EcsOption, Message, Name, RecordType
 from ..net.addr import parse_addr, prefix_key, prefix_key_int
 from ..net.clock import SimClock
+from ..obs import metrics as _obs_metrics
 
 IPAddressLike = Union[str, ipaddress.IPv4Address, ipaddress.IPv6Address]
 
@@ -135,19 +136,32 @@ class EcsCache:
         entries = self._entries.get(key)
         if not entries:
             self.stats.misses += 1
+            self._count("miss")
             return None
         now = self.clock.now()
         live = [e for e in entries if e.expires_at > now]
         if len(live) != len(entries):
             self.stats.expirations += len(entries) - len(live)
+            self._count("expired", len(entries) - len(live))
             self._entries[key] = live
         for entry in live:
             if self._entry_matches(entry, client):
                 self.stats.hits += 1
                 entry.last_used = now
+                self._count("hit")
                 return self._aged_copy(entry, now)
         self.stats.misses += 1
+        self._count("miss")
         return None
+
+    @staticmethod
+    def _count(event: str, amount: int = 1) -> None:
+        """Out-of-band cache event counter; free when metrics are off."""
+        reg = _obs_metrics.ACTIVE
+        if reg is not None:
+            reg.counter("repro_cache_events_total",
+                        "EcsCache events (hit/miss/insert/evict/expired).",
+                        ("event",)).inc(amount, event)
 
     def _entry_matches(self, entry: _Entry,
                        client: Optional[IPAddressLike]) -> bool:
@@ -219,9 +233,15 @@ class EcsCache:
                                and e.net_key == entry.net_key)]
         entries.append(entry)
         self.stats.insertions += 1
+        self._count("insert")
         if self.max_entries is not None:
             self._enforce_capacity()
         self.stats.max_size = max(self.stats.max_size, self.size())
+        reg = _obs_metrics.ACTIVE
+        if reg is not None:
+            reg.gauge("repro_cache_max_entries",
+                      "Peak live cache entries (high watermark).",
+                      mode="max").set_max(self.stats.max_size)
         return True
 
     def _enforce_capacity(self) -> None:
@@ -242,6 +262,7 @@ class EcsCache:
             else:
                 del self._entries[key]
         self.stats.evictions += overflow
+        self._count("evict", overflow)
 
     def flush(self) -> None:
         """Drop everything (does not reset stats)."""

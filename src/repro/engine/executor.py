@@ -12,6 +12,16 @@ Timing is measured inside each worker, so :class:`ShardStats` reflects
 real per-shard compute time; the wall clock is measured by the parent.
 Stats feed the ``benchmarks/`` throughput tracking and are never part of
 rendered experiment reports (they would break determinism comparisons).
+
+Observability rides the same out-of-band channel: when the parent
+process has an active :mod:`repro.obs` registry or tracer, each shard
+call runs against a *fresh* per-shard registry/tracer (inline execution
+swaps the parent's out for the duration, pool workers activate their
+own), and the per-shard snapshots come back with the results, merge in
+shard order onto :class:`EngineReport`, and fold into the parent's
+active collectors.  Because registry merging is associative and
+commutative and span IDs are namespaced by shard index, the merged
+metrics and span topology are identical for every worker count.
 """
 
 from __future__ import annotations
@@ -20,6 +30,11 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Span, Tracer
 
 
 @dataclass
@@ -38,12 +53,21 @@ class ShardStats:
 
 @dataclass
 class EngineReport:
-    """Aggregate throughput of one sharded run."""
+    """Aggregate throughput of one sharded run.
+
+    ``metrics`` and ``spans`` hold the shard-order merge of the
+    per-shard observability snapshots when collection was active in the
+    parent (``None``/empty otherwise); they are never rendered into
+    experiment reports.
+    """
 
     task: str
     workers: int
     wall_seconds: float
     shards: List[ShardStats] = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = None
+    spans: List[Span] = field(default_factory=list)
+    spans_dropped: int = 0
 
     @property
     def total_records(self) -> int:
@@ -73,22 +97,60 @@ class EngineReport:
         return "\n".join(lines)
 
 
-def _timed_call(fn: Callable[..., Any], args: Tuple) -> Tuple[Any, float]:
-    """Run ``fn(*args)`` and measure it; executes inside the worker."""
+#: One shard's outcome: (result, seconds, registry | None, spans | None,
+#: dropped span count).
+_Outcome = Tuple[Any, float, Optional[MetricsRegistry],
+                 Optional[List[Span]], int]
+
+
+def _observed_call(fn: Callable[..., Any], args: Tuple, shard_index: int,
+                   capture_metrics: bool, capture_traces: bool) -> _Outcome:
+    """Run ``fn(*args)`` timed, against fresh per-shard obs collectors.
+
+    Swapping (rather than merely activating) the registry/tracer makes
+    inline and pooled execution indistinguishable to the instrumented
+    code: either way the shard writes into its own collectors, which are
+    snapshotted here and merged by the parent in shard order.
+    """
+    registry: Optional[MetricsRegistry] = None
+    spans: Optional[List[Span]] = None
+    dropped = 0
+    previous_registry = (obs_metrics.swap(MetricsRegistry())
+                         if capture_metrics else None)
+    tracer = Tracer(id_prefix=f"s{shard_index}") if capture_traces else None
+    previous_tracer = obs_trace.swap(tracer) if capture_traces else None
     start = time.perf_counter()
-    result = fn(*args)
-    return result, time.perf_counter() - start
+    try:
+        result = fn(*args)
+    finally:
+        seconds = time.perf_counter() - start
+        if capture_metrics:
+            registry = obs_metrics.swap(previous_registry)
+        if capture_traces:
+            obs_trace.swap(previous_tracer)
+            spans, dropped = tracer.spans, tracer.dropped
+    return result, seconds, registry, spans, dropped
 
 
-def _timed_call_chunk(fn: Callable[..., Any],
-                      chunk: Sequence[Tuple]) -> List[Tuple[Any, float]]:
+def _observed_call_chunk(fn: Callable[..., Any], chunk: Sequence[Tuple],
+                         base_index: int, capture_metrics: bool,
+                         capture_traces: bool) -> List[_Outcome]:
     """Run several consecutive shards in one worker dispatch.
 
     Batching shard calls into one submission pickles ``fn`` and the pool
     bookkeeping once per chunk instead of once per shard; each shard is
-    still timed individually so per-shard stats stay meaningful.
+    still timed (and observed) individually so per-shard stats stay
+    meaningful.
     """
-    return [_timed_call(fn, args) for args in chunk]
+    return [_observed_call(fn, args, base_index + offset,
+                           capture_metrics, capture_traces)
+            for offset, args in enumerate(chunk)]
+
+
+def _timed_call(fn: Callable[..., Any], args: Tuple) -> Tuple[Any, float]:
+    """Run ``fn(*args)`` and measure it (no observability capture)."""
+    result, seconds, _, _, _ = _observed_call(fn, args, 0, False, False)
+    return result, seconds
 
 
 def _chunk_bounds(total: int, chunk_size: int) -> List[Tuple[int, int]]:
@@ -118,19 +180,23 @@ def run_sharded(fn: Callable[..., Any], shard_args: Sequence[Tuple],
     for any (workers, chunk_size) combination.
     """
     workers = max(1, workers)
+    capture_metrics = obs_metrics.ACTIVE is not None
+    capture_traces = obs_trace.ACTIVE is not None
     wall_start = time.perf_counter()
-    outcomes: List[Tuple[Any, float]] = []
+    outcomes: List[_Outcome] = []
     if workers == 1 or len(shard_args) <= 1:
-        for args in shard_args:
-            outcomes.append(_timed_call(fn, args))
+        for index, args in enumerate(shard_args):
+            outcomes.append(_observed_call(fn, args, index,
+                                           capture_metrics, capture_traces))
     else:
         if chunk_size is None:
             chunk_size = max(1, len(shard_args) // (workers * 4))
         bounds = _chunk_bounds(len(shard_args), max(1, chunk_size))
         with ProcessPoolExecutor(
                 max_workers=min(workers, len(bounds))) as pool:
-            futures = [pool.submit(_timed_call_chunk, fn,
-                                   list(shard_args[lo:hi]))
+            futures = [pool.submit(_observed_call_chunk, fn,
+                                   list(shard_args[lo:hi]), lo,
+                                   capture_metrics, capture_traces)
                        for lo, hi in bounds]
             for future in futures:
                 outcomes.extend(future.result())
@@ -138,7 +204,7 @@ def run_sharded(fn: Callable[..., Any], shard_args: Sequence[Tuple],
 
     results: List[Any] = []
     stats: List[ShardStats] = []
-    for index, (result, seconds) in enumerate(outcomes):
+    for index, (result, seconds, _, _, _) in enumerate(outcomes):
         if count_of is not None:
             count = count_of(result)
         elif hasattr(result, "__len__"):
@@ -147,4 +213,32 @@ def run_sharded(fn: Callable[..., Any], shard_args: Sequence[Tuple],
             count = 0
         results.append(result)
         stats.append(ShardStats(index, count, seconds))
-    return results, EngineReport(task, workers, wall, stats)
+    report = EngineReport(task, workers, wall, stats)
+    _fold_observability(report, outcomes, capture_metrics, capture_traces)
+    return results, report
+
+
+def _fold_observability(report: EngineReport, outcomes: Sequence[_Outcome],
+                        capture_metrics: bool, capture_traces: bool) -> None:
+    """Merge per-shard snapshots in shard order; feed the parent's obs."""
+    if capture_metrics:
+        merged = MetricsRegistry()
+        for _, _, registry, _, _ in outcomes:
+            if registry is not None:
+                merged.merge_from(registry)
+        report.metrics = merged
+        parent = obs_metrics.ACTIVE
+        if parent is not None:
+            parent.merge_from(merged)
+    if capture_traces:
+        all_spans: List[Span] = []
+        dropped_total = 0
+        for _, _, _, spans, dropped in outcomes:
+            if spans:
+                all_spans.extend(spans)
+            dropped_total += dropped
+        report.spans = all_spans
+        report.spans_dropped = dropped_total
+        parent = obs_trace.ACTIVE
+        if parent is not None:
+            parent.absorb(all_spans, dropped_total)

@@ -18,13 +18,20 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
+from ..obs import metrics as _obs_metrics
 from .executor import EngineReport, run_sharded
 from .sharding import DEFAULT_SHARDS
 
 
 def _build_shard(builder: Any, shard_index: int, shard_count: int) -> list:
     """Worker entry point; module-level so it pickles by reference."""
-    return builder.build_shard(shard_index, shard_count)
+    records = builder.build_shard(shard_index, shard_count)
+    reg = _obs_metrics.ACTIVE
+    if reg is not None:
+        reg.counter("repro_generate_records_total",
+                    "Records produced by sharded generation, per builder.",
+                    ("builder",)).inc(len(records), type(builder).__name__)
+    return records
 
 
 def generate_records(builder: Any, shards: int = DEFAULT_SHARDS,

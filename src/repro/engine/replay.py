@@ -16,11 +16,15 @@ The shard count is fixed independently of the worker count, so
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.cache_sim import (ReplayPartial, ReplayResult,
                                   merge_partials, replay_partial,
                                   replay_partial_batched)
+from ..core.cache import ScopeTracker
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
 from .executor import EngineReport, run_sharded
 from .sharding import DEFAULT_SHARDS, partition_by_key
 
@@ -57,14 +61,92 @@ CLIENT_FIELDS: Dict[str, str] = {
 }
 
 
+#: Per-shard ceiling on replay records that emit spans.  The replay
+#: traces run to millions of records; tracing each one would swamp any
+#: consumer, so a traced replay annotates the shard's leading records and
+#: keeps counting the rest (counters are never capped).
+TRACED_RECORDS_PER_SHARD = 1000
+
+
 def _replay_shard(records: list, kind: str) -> ReplayPartial:
     """Worker entry point: replay one shard of a partitioned trace.
 
     Uses the batched access path (hoisted attrgetter, no per-record
     callables); counter-identical to ``replay_partial`` over
-    ``ACCESSORS[kind]``.
+    ``ACCESSORS[kind]``.  Observability is strictly out-of-band: with a
+    tracer active the shard runs the span-emitting twin (same tracker
+    call sequence, so identical counters); with only a registry active
+    the batched loop runs untouched and the partial's aggregate counters
+    are recorded after the fact.
     """
-    return replay_partial_batched(records, CLIENT_FIELDS[kind])
+    if _obs_trace.ACTIVE is not None:
+        partial = _replay_shard_traced(records, kind)
+    else:
+        partial = replay_partial_batched(records, CLIENT_FIELDS[kind])
+    if _obs_metrics.ACTIVE is not None:
+        _record_replay_metrics(kind, partial)
+    return partial
+
+
+def _replay_shard_traced(records: list, kind: str) -> ReplayPartial:
+    """Span-emitting twin of the batched replay loop.
+
+    Issues the exact same :meth:`ScopeTracker.access` sequence as
+    :func:`repro.analysis.cache_sim.replay_partial_batched`, so the
+    returned partial is counter-identical; the first
+    :data:`TRACED_RECORDS_PER_SHARD` records additionally emit a
+    ``replay.query`` span carrying both cache verdicts.
+    """
+    tracer = _obs_trace.ACTIVE
+    ecs = ScopeTracker(use_ecs=True)
+    plain = ScopeTracker(use_ecs=False)
+    get = attrgetter("ts", "qname", "qtype", CLIENT_FIELDS[kind],
+                     "scope", "ttl")
+    ecs_access = ecs.access
+    plain_access = plain.access
+    for index, r in enumerate(records):
+        ts, qname, qtype, client, scope, ttl = get(r)
+        if index < TRACED_RECORDS_PER_SHARD:
+            with tracer.span("replay.query", kind=kind, ts=ts, qname=qname,
+                             qtype=qtype, client=client,
+                             scope=scope) as span:
+                span.attrs["ecs_hit"] = ecs_access(ts, qname, qtype,
+                                                   client, scope, ttl)
+                span.attrs["plain_hit"] = plain_access(ts, qname, qtype,
+                                                       None, 0, ttl)
+        else:
+            ecs_access(ts, qname, qtype, client, scope, ttl)
+            plain_access(ts, qname, qtype, None, 0, ttl)
+    return ReplayPartial(ecs.hits, ecs.misses, plain.hits, plain.misses,
+                         ecs.max_size, plain.max_size)
+
+
+def _record_replay_metrics(kind: str, partial: ReplayPartial) -> None:
+    """Record one shard's replay outcome as aggregate instruments.
+
+    Called once per shard *after* the hot loop, so metrics collection adds
+    a constant per-shard cost rather than a per-record one.  Peak sizes go
+    to a sum-mode gauge because disjoint shard caches add (the same
+    argument as :class:`ReplayPartial` merging).
+    """
+    reg = _obs_metrics.ACTIVE
+    lookups = reg.counter(
+        "repro_replay_cache_lookups_total",
+        "Replay cache lookups by trace kind, cache flavor and outcome.",
+        ("kind", "cache", "outcome"))
+    lookups.inc(partial.hits_ecs, kind, "ecs", "hit")
+    lookups.inc(partial.misses_ecs, kind, "ecs", "miss")
+    lookups.inc(partial.hits_no_ecs, kind, "plain", "hit")
+    lookups.inc(partial.misses_no_ecs, kind, "plain", "miss")
+    peak = reg.gauge(
+        "repro_replay_cache_peak_entries",
+        "Summed per-shard peak cache occupancy during replay.",
+        ("kind", "cache"), mode="sum")
+    peak.inc(partial.max_size_ecs, kind, "ecs")
+    peak.inc(partial.max_size_no_ecs, kind, "plain")
+    reg.counter("repro_replay_queries_total",
+                "Trace records replayed, by trace kind.",
+                ("kind",)).inc(partial.queries, kind)
 
 
 def _qname_of(record) -> str:

@@ -18,7 +18,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Protocol
 
 from ..dnslib import Message, decode_message, encode_message
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
 from .topology import Topology
+
+#: RTT histogram bucket bounds in milliseconds (virtual time, so the
+#: distribution is deterministic for a fixed seed and worker count).
+RTT_BUCKETS_MS = (5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 250.0,
+                  500.0, 1000.0, 2000.0)
 
 
 class Endpoint(Protocol):
@@ -58,6 +65,14 @@ class NetworkStats:
         self.datagrams += 1
         self.bytes_sent += nbytes
         self.per_destination[dst_ip] = self.per_destination.get(dst_ip, 0) + 1
+
+    def timeout_rate(self) -> float:
+        """Fraction of sent datagrams that timed out (0.0 when idle)."""
+        return self.timeouts / self.datagrams if self.datagrams else 0.0
+
+    def drop_rate(self) -> float:
+        """Fraction of sent datagrams dropped in flight (0.0 when idle)."""
+        return self.drops / self.datagrams if self.datagrams else 0.0
 
 
 class Network:
@@ -115,20 +130,52 @@ class Network:
 
         ``tcp=True`` models a stream query (retry after truncation): one
         extra RTT is charged for the handshake and no size limit applies.
+
+        When tracing is active the round trip becomes a ``net.query``
+        span; because the destination endpoint handles the datagram
+        inline, every span it opens (forward hops, resolve, the
+        authoritative's answer) nests inside this one — the query
+        lifecycle falls out of the call tree.
         """
+        tracer = _obs_trace.ACTIVE
+        if tracer is None:
+            return self._transmit(src_ip, dst_ip, message, rng, tcp)
+        with tracer.span("net.query", src=src_ip, dst=dst_ip,
+                         transport="tcp" if tcp else "udp") as span:
+            outcome = self._transmit(src_ip, dst_ip, message, rng, tcp)
+            span.attrs["timed_out"] = outcome.timed_out
+            span.attrs["elapsed_ms"] = round(outcome.elapsed_ms, 3)
+        return outcome
+
+    def _transmit(self, src_ip: str, dst_ip: str, message: Message,
+                  rng: Optional[random.Random], tcp: bool) -> QueryOutcome:
         start = self.clock.now()
         wire = encode_message(message)
         self.stats.record(dst_ip, len(wire))
+        transport = "tcp" if tcp else "udp"
+        reg = _obs_metrics.ACTIVE
+        if reg is not None:
+            reg.counter("repro_net_datagrams_total",
+                        "Datagrams sent across the fabric.",
+                        ("transport",)).inc(1, transport)
+            reg.counter("repro_net_bytes_sent_total",
+                        "Query bytes put on the wire.",
+                        ("transport",)).inc(len(wire), transport)
         one_way_s = self.topology.rtt_ms(src_ip, dst_ip, rng) / 2.0 / 1000.0
 
         endpoint = self._endpoints.get(dst_ip)
         if endpoint is None or self._dropped(src_ip, dst_ip, wire):
             if endpoint is None:
                 self.stats.timeouts += 1
+                outcome_label = "timeout"
             else:
                 self.stats.drops += 1
+                outcome_label = "drop"
             if self.advance_clock:
                 self.clock.advance(self.TIMEOUT_MS / 1000.0)
+            if reg is not None:
+                self._record_outcome(reg, transport, outcome_label,
+                                     self.TIMEOUT_MS)
             return QueryOutcome(None, self.TIMEOUT_MS, timed_out=True)
 
         if self.advance_clock:
@@ -142,12 +189,29 @@ class Network:
                 # the timeout clock started when the query was sent
                 deadline = start + self.TIMEOUT_MS / 1000.0
                 self.clock.advance_to(deadline)
+            if reg is not None:
+                self._record_outcome(reg, transport, "drop", self.TIMEOUT_MS)
             return QueryOutcome(None, self.TIMEOUT_MS, timed_out=True)
         if self.advance_clock:
             self.clock.advance(one_way_s)
         elapsed_ms = (self.clock.now() - start) * 1000.0 if self.advance_clock \
             else one_way_s * 2000.0
+        if reg is not None:
+            self._record_outcome(reg, transport, "answered", elapsed_ms)
         return QueryOutcome(decode_message(response_wire), elapsed_ms)
+
+    @staticmethod
+    def _record_outcome(reg, transport: str, outcome: str,
+                        elapsed_ms: float) -> None:
+        """Out-of-band fault/latency instrumentation for one round trip."""
+        reg.counter("repro_net_queries_total",
+                    "Round trips by transport and outcome.",
+                    ("transport", "outcome")).inc(1, transport, outcome)
+        reg.histogram("repro_net_rtt_ms",
+                      "Virtual round-trip time per query (ms).",
+                      ("transport", "outcome"),
+                      buckets=RTT_BUCKETS_MS).observe(elapsed_ms, transport,
+                                                      outcome)
 
     def tcp_handshake_ms(self, src_ip: str, dst_ip: str,
                          rng: Optional[random.Random] = None) -> float:

@@ -1,0 +1,90 @@
+"""``repro.obs`` — query-lifecycle tracing and metrics (zero-dependency).
+
+The observability layer is strictly out-of-band, like
+:class:`~repro.engine.executor.ShardStats`: experiment outputs are
+byte-identical whether it is enabled or not, and a disabled registry or
+tracer costs one global load per instrumented call site.  Three parts:
+
+- :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry`
+  of named :class:`Counter`/:class:`Gauge`/:class:`Histogram`
+  instruments with label support, mergeable across engine shards
+  exactly like ``ReplayPartial``.
+- :mod:`repro.obs.trace` — lightweight span tracing (``span("resolve",
+  qname=...)``, monotonic-clock timing, parent/child span IDs) forming
+  per-query DNS lifecycle traces.
+- :mod:`repro.obs.export` / :mod:`repro.obs.profile` — Prometheus text
+  and JSONL span export, plus a cProfile hook for whole commands or
+  individual shards.
+
+See ``docs/observability.md`` for the instrument catalogue and how to
+read a query trace.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from . import metrics as _metrics
+from . import trace as _trace
+from .export import (parse_prometheus, read_spans_jsonl, spans_to_jsonl,
+                     to_prometheus, write_prometheus, write_spans_jsonl)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      merge_registries)
+from .profile import profile_call, profiled, render_stats
+from .trace import Span, Tracer, event, span
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "ObsSession",
+    "Span", "Tracer", "active_registry", "active_tracer", "event",
+    "merge_registries", "observe", "parse_prometheus", "profile_call",
+    "profiled", "read_spans_jsonl", "render_stats", "span",
+    "spans_to_jsonl", "to_prometheus", "write_prometheus",
+    "write_spans_jsonl",
+]
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The process's active metrics registry, or ``None`` when disabled."""
+    return _metrics.ACTIVE
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The process's active tracer, or ``None`` when disabled."""
+    return _trace.ACTIVE
+
+
+class ObsSession:
+    """One activation of metrics and/or tracing (see :func:`observe`)."""
+
+    def __init__(self, registry: Optional[MetricsRegistry],
+                 tracer: Optional[Tracer]):
+        self.registry = registry
+        self.tracer = tracer
+
+
+@contextmanager
+def observe(metrics: bool = True, tracing: bool = False,
+            span_limit: int = _trace.DEFAULT_SPAN_LIMIT
+            ) -> Iterator[ObsSession]:
+    """Enable collection for a block; restores the previous state after.
+
+    The yielded :class:`ObsSession` keeps the registry/tracer so callers
+    can export after the block exits::
+
+        with observe(metrics=True, tracing=True) as session:
+            run_experiment()
+        write_prometheus(session.registry, "metrics.prom")
+        write_spans_jsonl(session.tracer.spans, "trace.jsonl")
+    """
+    registry = MetricsRegistry() if metrics else None
+    tracer = Tracer(limit=span_limit) if tracing else None
+    previous_registry = _metrics.swap(registry) if metrics else None
+    previous_tracer = _trace.swap(tracer) if tracing else None
+    try:
+        yield ObsSession(registry, tracer)
+    finally:
+        if metrics:
+            _metrics.swap(previous_registry)
+        if tracing:
+            _trace.swap(previous_tracer)

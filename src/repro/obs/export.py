@@ -1,0 +1,263 @@
+"""Exporters: Prometheus text format and JSONL event streams.
+
+:func:`to_prometheus` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+in the Prometheus text exposition format (``# HELP``/``# TYPE`` headers,
+escaped label values, cumulative histogram buckets with ``+Inf`` and
+``_sum``/``_count`` series).  Output is fully deterministic: metric
+names, label names and label values are emitted in sorted order, so two
+registries with equal samples render byte-identically regardless of
+insertion order — which is what lets ``--workers 1`` and ``--workers N``
+runs produce the same metrics file.
+
+:func:`parse_prometheus` is the matching validator: a small strict
+parser used by ``tools/lint_prometheus.py`` and the test suite to assert
+that everything we emit is well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Span
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\"", r"\"")
+            .replace("\n", r"\n"))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _labels(names: Sequence[str], values: Sequence[str],
+            extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(zip(names, (str(v) for v in values))) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"'
+                    for k, v in sorted(pairs))
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        name = instrument.name
+        lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        labelnames = instrument.labelnames
+        if isinstance(instrument, (Counter, Gauge)):
+            for key in sorted(instrument.samples()):
+                lines.append(f"{name}{_labels(labelnames, key)} "
+                             f"{_format_value(instrument.samples()[key])}")
+        elif isinstance(instrument, Histogram):
+            for key in sorted(instrument.samples()):
+                counts, total, count = instrument.samples()[key]
+                cumulative = 0
+                for bound, bucket in zip(instrument.buckets, counts):
+                    cumulative += bucket
+                    le = (("le", _format_value(float(bound))),)
+                    lines.append(
+                        f"{name}_bucket{_labels(labelnames, key, le)} "
+                        f"{cumulative}")
+                cumulative += counts[-1]
+                lines.append(f"{name}_bucket"
+                             f"{_labels(labelnames, key, (('le', '+Inf'),))} "
+                             f"{cumulative}")
+                lines.append(f"{name}_sum{_labels(labelnames, key)} "
+                             f"{_format_value(total)}")
+                lines.append(f"{name}_count{_labels(labelnames, key)} "
+                             f"{count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry,
+                     path: Union[str, Path]) -> Path:
+    """Write the Prometheus rendering to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_prometheus(registry))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text-format validation (the linter's engine)
+
+
+def _parse_labels(body: str, lineno: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        name = body[i:eq].strip()
+        if not name.replace("_", "a").isalnum():
+            raise ValueError(f"line {lineno}: bad label name {name!r}")
+        if body[eq + 1] != '"':
+            raise ValueError(f"line {lineno}: unquoted label value")
+        j = eq + 2
+        value_chars: List[str] = []
+        while j < len(body):
+            ch = body[j]
+            if ch == "\\":
+                value_chars.append(body[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"line {lineno}: unterminated label value")
+        labels[name] = "".join(value_chars)
+        i = j + 1
+        if i < len(body) and body[i] == ",":
+            i += 1
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict]:
+    """Strictly parse Prometheus text format; raises ``ValueError``.
+
+    Returns ``{metric_family: {"type": ..., "help": ..., "samples":
+    [(name, labels, value), ...]}}``.  Validation covers: every sample
+    belongs to a declared family, ``TYPE`` precedes samples, histogram
+    families expose ``_bucket``/``_sum``/``_count`` series, bucket
+    counts are cumulative, and values parse as numbers.
+    """
+    families: Dict[str, Dict] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"type": None, "help": None,
+                                       "samples": []})["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ValueError(f"line {lineno}: unknown type {kind!r}")
+            families.setdefault(name, {"type": None, "help": None,
+                                       "samples": []})["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name = line[:line.index("{")]
+            body = line[line.index("{") + 1:line.rindex("}")]
+            labels = _parse_labels(body, lineno)
+            value_text = line[line.rindex("}") + 1:].strip()
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = {}
+            value_text = value_text.strip()
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in families:
+                family = name[:-len(suffix)]
+                break
+        if family not in families:
+            raise ValueError(f"line {lineno}: sample {name!r} has no "
+                             f"# TYPE declaration")
+        if family != name and families[family]["type"] != "histogram":
+            raise ValueError(f"line {lineno}: suffixed sample {name!r} on "
+                             f"non-histogram family {family!r}")
+        if value_text == "+Inf":
+            value = math.inf
+        else:
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise ValueError(f"line {lineno}: bad sample value "
+                                 f"{value_text!r}") from None
+        families[family]["samples"].append((name, labels, value))
+
+    for family, info in families.items():
+        if info["type"] is None:
+            raise ValueError(f"family {family!r} has samples but no # TYPE")
+        if info["type"] == "histogram":
+            _check_histogram_family(family, info["samples"])
+    return families
+
+
+def _check_histogram_family(family: str,
+                            samples: List[Tuple[str, Dict, float]]) -> None:
+    by_labels: Dict[Tuple, List[Tuple[float, float]]] = {}
+    seen_sum = set()
+    seen_count = set()
+    for name, labels, value in samples:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        if name == f"{family}_bucket":
+            if "le" not in labels:
+                raise ValueError(f"{family}: bucket sample without le label")
+            le = math.inf if labels["le"] == "+Inf" else float(labels["le"])
+            by_labels.setdefault(key, []).append((le, value))
+        elif name == f"{family}_sum":
+            seen_sum.add(key)
+        elif name == f"{family}_count":
+            seen_count.add(key)
+    for key, buckets in by_labels.items():
+        buckets.sort()
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ValueError(f"{family}: missing +Inf bucket for {key}")
+        counts = [c for _, c in buckets]
+        if counts != sorted(counts):
+            raise ValueError(f"{family}: non-cumulative buckets for {key}")
+        if key not in seen_sum or key not in seen_count:
+            raise ValueError(f"{family}: missing _sum/_count for {key}")
+
+
+# ---------------------------------------------------------------------------
+# JSONL event streams
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per span, in the given (completion) order."""
+    return "".join(json.dumps(span.as_dict(), sort_keys=True) + "\n"
+                   for span in spans)
+
+
+def write_spans_jsonl(spans: Sequence[Span], path: Union[str, Path],
+                      dropped: int = 0) -> Path:
+    """Write spans as JSONL, with a trailing summary object.
+
+    The summary line (``{"event": "tracer_summary", ...}``) records the
+    span and overflow counts so a truncated trace is self-describing.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    summary = json.dumps({"event": "tracer_summary", "spans": len(spans),
+                          "dropped": dropped}, sort_keys=True)
+    path.write_text(spans_to_jsonl(spans) + summary + "\n")
+    return path
+
+
+def read_spans_jsonl(path: Union[str, Path]) -> List[Dict]:
+    """Load span dicts back (summary lines excluded)."""
+    out: List[Dict] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        doc = json.loads(line)
+        if doc.get("event") == "tracer_summary":
+            continue
+        out.append(doc)
+    return out

@@ -1,0 +1,72 @@
+"""cProfile hooks: wrap any task and report top cumulative functions.
+
+:func:`profile_call` is the generic wrapper the CLI's ``--profile`` flag
+uses — it runs a callable (typically a whole sharded command) under
+:mod:`cProfile` and renders the hottest functions by cumulative time.
+:func:`profiled` wraps a shard worker function so individual shards can
+be profiled through :func:`repro.engine.executor.run_sharded` without
+changing the executor.
+
+Profiling is strictly observational: the wrapped callable's return value
+passes through untouched, so profiled runs keep producing byte-identical
+experiment outputs (only slower).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import functools
+import io
+import pstats
+from typing import Any, Callable, Tuple
+
+#: Rows shown in a rendered profile report.
+DEFAULT_TOP = 25
+
+
+def render_stats(profile: cProfile.Profile, top: int = DEFAULT_TOP,
+                 title: str = "profile") -> str:
+    """Top-``top`` functions by cumulative time, as an aligned report."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    stats.print_stats(top)
+    body = buffer.getvalue().strip()
+    header = f"[profile] {title} — top {top} by cumulative time"
+    return f"{header}\n{body}"
+
+
+def profile_call(fn: Callable[..., Any], *args: Any, top: int = DEFAULT_TOP,
+                 title: str = "profile", **kwargs: Any
+                 ) -> Tuple[Any, str]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, report)`` where ``report`` is the rendered
+    top-cumulative-functions table.
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profile.disable()
+    return result, render_stats(profile, top=top, title=title)
+
+
+def profiled(fn: Callable[..., Any], top: int = DEFAULT_TOP,
+             sink: Callable[[str], None] = print) -> Callable[..., Any]:
+    """Wrap a (shard) function so every call is profiled.
+
+    The wrapper stays picklable as long as ``fn`` and ``sink`` are
+    module-level, so it can be handed to ``run_sharded`` in place of the
+    raw worker function; each shard's report goes through ``sink``.
+    """
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        result, report = profile_call(fn, *args, top=top,
+                                      title=getattr(fn, "__name__", "shard"),
+                                      **kwargs)
+        sink(report)
+        return result
+
+    return wrapper

@@ -52,6 +52,8 @@ class FrontEndLogRecord:
 class AnycastFrontEnd(DnsServer):
     """A front-end: adds client-derived ECS, forwards to an egress."""
 
+    span_name = "frontend"
+
     def __init__(self, ip: str, egress_ips: Sequence[str]):
         super().__init__(ip, log_queries=False)
         if not egress_ips:

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 from ..dnslib import Message, Rcode
 from ..net.transport import Network
+from ..obs import metrics as _obs_metrics
 from .base import DnsServer
 
 
@@ -31,6 +32,8 @@ class Forwarder(DnsServer):
     forward"), which is what lets the caching-behavior experiments inject
     arbitrary prefixes through some resolution paths.
     """
+
+    span_name = "forward"
 
     def __init__(self, ip: str, upstreams: Sequence[str],
                  strip_ecs: bool = False):
@@ -49,6 +52,12 @@ class Forwarder(DnsServer):
         if self.strip_ecs:
             upstream_query.set_ecs(None)
         self.forwarded += 1
+        reg = _obs_metrics.ACTIVE
+        if reg is not None:
+            reg.counter("repro_forwarder_forwarded_total",
+                        "Queries passed upstream, by ECS handling.",
+                        ("ecs_handling",)).inc(
+                1, "strip" if self.strip_ecs else "pass")
         for upstream in self.upstreams:
             outcome = net.query(self.ip, upstream, upstream_query)
             if outcome.response is not None:

@@ -22,6 +22,8 @@ from ..dnslib import (EcsOption, Message, Name, Rcode, RecordType,
                       ResolutionError)
 from ..net.clock import SimClock
 from ..net.transport import Network
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
 from .base import DnsServer
 
 _MAX_REFERRALS = 20
@@ -36,6 +38,8 @@ _SCOPE_MODE_FOR = {
 
 class RecursiveResolver(DnsServer):
     """An egress resolver: takes client queries, resolves iteratively."""
+
+    span_name = "resolve"
 
     def __init__(self, ip: str, clock: SimClock, root_hints: Sequence[str],
                  policy: Optional[EcsPolicy] = None,
@@ -123,6 +127,11 @@ class RecursiveResolver(DnsServer):
                         and qname in self.policy.probe_hostnames)
         if not probe_bypass:
             cached = self.cache.lookup(qname, qtype, client_hint)
+            tracer = _obs_trace.ACTIVE
+            if tracer is not None:
+                tracer.event("cache_lookup", resolver=self.ip,
+                             qname=qname.to_text(),
+                             hit=cached is not None)
             if cached is not None:
                 return cached, self._scope_of(cached)
 
@@ -257,6 +266,12 @@ class RecursiveResolver(DnsServer):
                                    use_edns=use_edns,
                                    ecs=ecs_opt if use_edns else None)
         self.upstream_queries += 1
+        reg = _obs_metrics.ACTIVE
+        if reg is not None:
+            reg.counter("repro_resolver_upstream_queries_total",
+                        "Probes sent upstream, by ECS decision.",
+                        ("ecs",)).inc(
+                1, "sent" if ecs_opt is not None else "none")
         outcome = net.query(self.ip, ns_ip, query)
         if outcome.response is None:
             # Penalize unresponsive servers heavily in selection.
@@ -267,6 +282,13 @@ class RecursiveResolver(DnsServer):
         if response.truncated:
             # TC=1: retry the identical question over TCP (RFC 1035).
             self.upstream_queries += 1
+            if reg is not None:
+                reg.counter("repro_resolver_tcp_fallback_total",
+                            "Truncated answers retried over TCP.").inc()
+            tracer = _obs_trace.ACTIVE
+            if tracer is not None:
+                tracer.event("tcp_fallback", resolver=self.ip, ns=ns_ip,
+                             qname=qname.to_text())
             outcome = net.query(self.ip, ns_ip, query, tcp=True)
             if outcome.response is None:
                 return None, ecs_opt
@@ -288,6 +310,12 @@ class RecursiveResolver(DnsServer):
             self.probing.note_response(
                 ns_ip, valid,
                 scope=resp_ecs.scope_prefix_length if valid else None)
+            if valid and reg is not None:
+                reg.histogram("repro_resolver_scope_bits",
+                              "Authoritative scope prefix lengths seen.",
+                              buckets=(0, 8, 16, 20, 24, 28, 32, 48, 64,
+                                       128)).observe(
+                    resp_ecs.scope_prefix_length)
             if resp_ecs is not None and not valid:
                 # RFC 7871 section 7.3: a mismatched ECS response option
                 # must be ignored entirely.

@@ -1,0 +1,368 @@
+"""Observability layer: merge algebra, tracing, export and determinism.
+
+The guarantees under test mirror ``tests/test_engine_merge.py``: registry
+merging is associative, commutative and has an identity, so shard order
+(and therefore worker count) never changes the merged metrics; tracing
+reconstructs query lifecycles through parent/child span IDs; and — the
+load-bearing property — experiment outputs are byte-identical whether
+observability is enabled or not.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache_sim import replay_partial_batched
+from repro.analysis.report import format_network_stats
+from repro.cli import main as cli_main
+from repro.datasets import AllNamesBuilder, merge_sorted_records
+from repro.engine.generate import generate_records
+from repro.engine.replay import _replay_shard, replay_sharded
+from repro.engine.sharding import partition_by_key
+from repro.net.transport import NetworkStats
+from repro.obs import (MetricsRegistry, Tracer, merge_registries, observe,
+                       parse_prometheus, profile_call, read_spans_jsonl,
+                       to_prometheus, write_spans_jsonl)
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+def _random_registry(rng: random.Random) -> MetricsRegistry:
+    """A registry with random samples across every instrument kind."""
+    reg = MetricsRegistry()
+    jobs = reg.counter("jobs_total", "Jobs.", ("kind", "outcome"))
+    for _ in range(rng.randrange(1, 12)):
+        jobs.inc(rng.randrange(1, 50), rng.choice(("a", "b")),
+                 rng.choice(("ok", "err")))
+    occupancy = reg.gauge("occupancy", "Summed occupancy.", ("site",))
+    peak = reg.gauge("peak", "High watermark.", mode="max")
+    for _ in range(rng.randrange(1, 6)):
+        occupancy.inc(rng.randrange(0, 100), rng.choice(("x", "y")))
+        peak.set_max(rng.randrange(0, 1000))
+    latency = reg.histogram("latency", "Latency.", buckets=(1.0, 5.0, 25.0))
+    for _ in range(rng.randrange(1, 20)):
+        # Integer-valued observations keep float sums exact, so the
+        # algebra assertions hold bit-for-bit (real merges always run in
+        # shard order, so they never rely on float associativity).
+        latency.observe(rng.randrange(0, 40))
+    return reg
+
+
+class TestRegistryAlgebra:
+    def test_zero_identity(self):
+        rng = random.Random(1)
+        reg = _random_registry(rng)
+        empty = MetricsRegistry()
+        assert reg.merge(empty).as_dict() == reg.as_dict()
+        assert empty.merge(reg).as_dict() == reg.as_dict()
+
+    def test_associative(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            a, b, c = (_random_registry(rng) for _ in range(3))
+            assert (a.merge(b).merge(c).as_dict()
+                    == a.merge(b.merge(c)).as_dict())
+
+    def test_commutative(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            a, b = (_random_registry(rng) for _ in range(2))
+            assert a.merge(b).as_dict() == b.merge(a).as_dict()
+
+    def test_merge_registries_equals_fold(self):
+        rng = random.Random(4)
+        regs = [_random_registry(rng) for _ in range(5)]
+        folded = MetricsRegistry()
+        for reg in regs:
+            folded.merge_from(reg)
+        assert merge_registries(regs).as_dict() == folded.as_dict()
+
+    def test_max_gauge_takes_watermark(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("peak", mode="max").set_max(10)
+        b.gauge("peak", mode="max").set_max(7)
+        assert a.merge(b).gauge("peak", mode="max").value() == 10
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        b.histogram("h", buckets=(1.0, 3.0)).observe(1.5)
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+
+class TestTracer:
+    def test_parent_child_nesting(self):
+        tracer = Tracer()
+        with tracer.span("resolve", qname="a.example.") as outer:
+            with tracer.span("net.query") as inner:
+                tracer.event("cache_lookup", hit=False)
+            assert inner is not None
+        resolve = next(s for s in tracer.spans if s.name == "resolve")
+        query = next(s for s in tracer.spans if s.name == "net.query")
+        lookup = next(s for s in tracer.spans if s.name == "cache_lookup")
+        assert resolve.parent_id is None
+        assert query.parent_id == resolve.span_id
+        assert lookup.parent_id == query.span_id
+        assert {s.trace_id for s in tracer.spans} == {resolve.trace_id}
+
+    def test_completion_order_children_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("mid"):
+                with tracer.span("inner"):
+                    pass
+        assert [s.name for s in tracer.spans] == ["inner", "mid", "outer"]
+
+    def test_limit_counts_dropped(self):
+        tracer = Tracer(limit=2)
+        for i in range(5):
+            tracer.event("e", i=i)
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_disabled_helpers_are_noops(self):
+        assert obs_trace.ACTIVE is None
+        with obs_trace.span("anything", x=1) as record:
+            assert record is None
+        assert obs_trace.event("anything") is None
+
+    def test_id_prefix_namespaces_shards(self):
+        a, b = Tracer(id_prefix="s0"), Tracer(id_prefix="s1")
+        a.event("e")
+        b.event("e")
+        ids = {a.spans[0].span_id, b.spans[0].span_id}
+        assert len(ids) == 2
+        assert all("-" in i for i in ids)
+
+
+class TestPrometheusExport:
+    def test_escaping_round_trip(self):
+        nasty = 'va\\lue "q"\nnl'
+        reg = MetricsRegistry()
+        reg.counter("odd_total", 'help with \\ and\nnewline',
+                    ("label",)).inc(3, nasty)
+        text = to_prometheus(reg)
+        assert r"help with \\ and\nnewline" in text
+        assert r'label="va\\lue \"q\"\nnl"' in text
+        family = parse_prometheus(text)["odd_total"]
+        ((name, labels, value),) = family["samples"]
+        # The strict parser keeps escape sequences verbatim; undoing
+        # them must recover the original label value exactly.
+        unescaped = (labels["label"].replace(r"\n", "\n")
+                     .replace(r"\"", '"').replace(r"\\", "\\"))
+        assert (name, unescaped, value) == ("odd_total", nasty, 3.0)
+
+    def test_histogram_is_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("rtt", "RTT.", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        family = parse_prometheus(to_prometheus(reg))["rtt"]  # validates
+        samples = {(n, labels.get("le")): v
+                   for n, labels, v in family["samples"]}
+        assert samples[("rtt_bucket", "1")] == 1.0
+        assert samples[("rtt_bucket", "10")] == 2.0
+        assert samples[("rtt_bucket", "+Inf")] == 3.0
+        assert samples[("rtt_count", None)] == 3.0
+        assert samples[("rtt_sum", None)] == pytest.approx(55.5)
+
+    def test_rendering_ignores_insertion_order(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for name in order:
+                reg.counter(name, f"{name}.", ("l",)).inc(1, "v")
+            return to_prometheus(reg)
+
+        assert build(("b_total", "a_total")) == build(("a_total", "b_total"))
+
+    def test_spans_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", qname="a.example."):
+            tracer.event("inner", hit=True)
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(tracer.spans, path, dropped=2)
+        rows = read_spans_jsonl(path)  # summary line excluded
+        assert [r["name"] for r in rows] == ["inner", "outer"]
+        assert rows[0]["attr_hit"] is True
+        summary = json.loads(path.read_text().splitlines()[-1])
+        assert summary == {"event": "tracer_summary", "spans": 2,
+                           "dropped": 2}
+
+    def test_profile_call_returns_result_and_report(self):
+        result, report = profile_call(sorted, [3, 1, 2], title="tiny")
+        assert result == [1, 2, 3]
+        assert "tiny" in report and "cumulative" in report
+
+
+@pytest.fixture()
+def allnames_records():
+    shard_lists, _ = generate_records(AllNamesBuilder(scale=0.01, seed=6),
+                                      shards=4, workers=1)
+    return merge_sorted_records(shard_lists)
+
+
+class TestShardCapture:
+    """Per-shard capture merges identically for every worker count."""
+
+    def _generate_metrics(self, workers: int):
+        with observe(metrics=True) as session:
+            generate_records(AllNamesBuilder(scale=0.01, seed=6),
+                             shards=4, workers=workers)
+        return session.registry.as_dict()
+
+    def test_generate_metrics_worker_independent(self):
+        assert self._generate_metrics(1) == self._generate_metrics(2)
+
+    def test_replay_metrics_worker_independent(self, allnames_records):
+        def run(workers):
+            with observe(metrics=True) as session:
+                result, report = replay_sharded(allnames_records, "allnames",
+                                                shards=4, workers=workers)
+            assert report.metrics is not None
+            return result, session.registry.as_dict()
+
+        result_1, metrics_1 = run(1)
+        result_2, metrics_2 = run(2)
+        assert result_1 == result_2
+        assert metrics_1 == metrics_2
+        lookups = sum(v for k, v in
+                      metrics_1["repro_replay_cache_lookups_total"]
+                      ["values"].items() if "ecs" in k.split("|"))
+        assert lookups == len(allnames_records)
+
+    def test_traced_replay_counter_identical(self, allnames_records):
+        buckets = partition_by_key(allnames_records, 4, lambda r: r.qname)
+        plain = [replay_partial_batched(b, "client_ip") for b in buckets]
+        with observe(tracing=True):
+            traced = [_replay_shard(b, "allnames") for b in buckets]
+        assert traced == plain
+
+    def test_trace_topology_worker_independent(self, allnames_records):
+        def topology(workers):
+            with observe(tracing=True) as session:
+                replay_sharded(allnames_records, "allnames",
+                               shards=4, workers=workers)
+            return [(s.trace_id, s.span_id, s.parent_id, s.name)
+                    for s in session.tracer.spans]
+
+        topo = topology(1)
+        assert topo == topology(2)
+        # Shard tracers namespace their IDs; empty shards emit nothing,
+        # so expect a subset of the four prefixes covering >1 shard.
+        prefixes = {span_id.split("-")[0] for _, span_id, _, _ in topo}
+        assert prefixes <= {"s0", "s1", "s2", "s3"}
+        assert len(prefixes) >= 2
+
+    def test_observe_restores_previous_state(self):
+        assert obs_metrics.ACTIVE is None and obs_trace.ACTIVE is None
+        with observe(metrics=True, tracing=True):
+            assert obs_metrics.ACTIVE is not None
+            assert obs_trace.ACTIVE is not None
+        assert obs_metrics.ACTIVE is None and obs_trace.ACTIVE is None
+
+
+class TestNetworkStats:
+    def test_rates_idle_are_zero(self):
+        stats = NetworkStats()
+        assert stats.timeout_rate() == 0.0
+        assert stats.drop_rate() == 0.0
+
+    def test_rates_are_fractions_of_datagrams(self):
+        stats = NetworkStats(datagrams=200, timeouts=30, drops=10)
+        assert stats.timeout_rate() == pytest.approx(0.15)
+        assert stats.drop_rate() == pytest.approx(0.05)
+
+    def test_format_network_stats_renders_rates(self):
+        stats = NetworkStats(datagrams=200, bytes_sent=999, timeouts=30,
+                             drops=10)
+        text = format_network_stats(stats, title="Net")
+        assert "timeout rate" in text and "15.00%" in text
+        assert "drop rate" in text and "5.00%" in text
+
+
+def _read_reports(out_dir: Path):
+    return {p.name: p.read_bytes()
+            for p in sorted(out_dir.rglob("*.txt"))}
+
+
+class TestCliDeterminism:
+    """Observability flags never change experiment outputs (acceptance)."""
+
+    def test_caching_reports_identical_with_obs(self, tmp_path):
+        plain, observed = tmp_path / "plain", tmp_path / "observed"
+        assert cli_main(["--quiet", "--out", str(plain),
+                         "caching", "--ingress", "25"]) == 0
+        assert cli_main(["--quiet", "--out", str(observed),
+                         "--metrics-out", str(tmp_path / "m.prom"),
+                         "--trace-out", str(tmp_path / "t.jsonl"),
+                         "caching", "--ingress", "25"]) == 0
+        assert _read_reports(plain) == _read_reports(observed)
+        assert parse_prometheus((tmp_path / "m.prom").read_text())
+        assert read_spans_jsonl(tmp_path / "t.jsonl")
+
+    def test_replay_identical_across_workers_and_obs(self, tmp_path):
+        trace = tmp_path / "allnames.jsonl"
+        assert cli_main(["--quiet", "generate", "allnames", str(trace),
+                         "--scale", "0.01"]) == 0
+        outs, proms = [], []
+        for tag, workers, flags in (
+                ("a", "1", []),
+                ("b", "1", ["--metrics-out", str(tmp_path / "b.prom")]),
+                ("c", "2", ["--metrics-out", str(tmp_path / "c.prom")])):
+            out = tmp_path / tag
+            assert cli_main(["--quiet", "--out", str(out), *flags,
+                             "replay", "allnames", str(trace),
+                             "--workers", workers]) == 0
+            outs.append(_read_reports(out))
+        assert outs[0] == outs[1] == outs[2]
+        assert ((tmp_path / "b.prom").read_bytes()
+                == (tmp_path / "c.prom").read_bytes())
+
+
+class TestLifecycleTrace:
+    """A query is followable client -> resolver -> authoritative."""
+
+    @pytest.fixture(scope="class")
+    def spans(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "caching.jsonl"
+        assert cli_main(["--quiet", "--trace-out", str(path),
+                         "caching", "--ingress", "20"]) == 0
+        return read_spans_jsonl(path)
+
+    def test_lifecycle_followable(self, spans):
+        by_id = {s["span_id"]: s for s in spans}
+
+        def ancestors(record):
+            chain = []
+            while record["parent_id"] is not None:
+                record = by_id[record["parent_id"]]
+                chain.append(record["name"])
+            return chain
+
+        auth = [s for s in spans if s["name"] == "authoritative"]
+        assert auth, "no authoritative spans captured"
+        followed = [s for s in auth if "resolve" in ancestors(s)]
+        assert followed, "no authoritative span reachable from a resolve"
+        # Each hop alternates through the fabric: resolver -> net.query
+        # -> authoritative, and the resolve span sits under a net.query
+        # from whoever forwarded to the resolver.
+        assert ancestors(followed[0])[0] == "net.query"
+
+    def test_resolver_records_cache_verdicts(self, spans):
+        lookups = [s for s in spans if s["name"] == "cache_lookup"]
+        assert lookups
+        assert {s["attr_hit"] for s in lookups} <= {True, False}
+        resolve_ids = {s["span_id"] for s in spans
+                       if s["name"] == "resolve"}
+        assert all(s["parent_id"] in resolve_ids for s in lookups)
+
+    def test_ecs_scopes_recorded(self, spans):
+        scoped = [s for s in spans if s["name"] == "authoritative"
+                  and s.get("attr_ecs_scope_out") is not None]
+        assert scoped, "authoritative spans should report ECS scope out"
+        assert all(0 <= s["attr_ecs_scope_out"] <= 128 for s in scoped)

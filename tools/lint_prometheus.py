@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-format files emitted by ``--metrics-out``.
+
+Usage::
+
+    PYTHONPATH=src python tools/lint_prometheus.py metrics.prom [...]
+
+Runs the strict parser from :func:`repro.obs.export.parse_prometheus`
+over every file: each sample must belong to a declared ``# TYPE``
+family, histogram families must expose cumulative ``_bucket`` series
+ending in ``+Inf`` plus ``_sum``/``_count``, and all values must parse
+as numbers.  Exit status is non-zero when any file fails, so CI can gate
+on it.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.export import parse_prometheus  # noqa: E402
+
+
+def lint(path: Path) -> bool:
+    try:
+        families = parse_prometheus(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"FAIL {path}: {exc}")
+        return False
+    samples = sum(len(info["samples"]) for info in families.values())
+    print(f"ok   {path}: {len(families)} metric families, "
+          f"{samples} samples")
+    return True
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print(__doc__.strip().splitlines()[0])
+        print("usage: lint_prometheus.py FILE [FILE ...]")
+        return 2
+    ok = True
+    for name in argv:
+        ok = lint(Path(name)) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
