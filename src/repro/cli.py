@@ -15,6 +15,7 @@ pitfalls    the section 8 labs (Table 2, Figures 6–8)
 generate    write a synthetic dataset to a JSONL trace file
 replay      run the section 7 cache replay over a saved JSONL trace
 all         every analysis command, sequentially
+lint        run the repro.staticcheck invariant linter (RS001-RS100)
 
 Every command accepts ``--seed`` and a size knob and writes rendered
 reports to ``--out`` (default: print to stdout only); ``--quiet``
@@ -340,6 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
     replay_cmd.add_argument("file", help="input JSONL path")
     add_engine_flags(replay_cmd)
 
+    lint = sub.add_parser(
+        "lint", help="run the repro.staticcheck invariant linter")
+    from .staticcheck.__main__ import add_lint_arguments
+    add_lint_arguments(lint)
+
     all_cmd = sub.add_parser("all", help="run every command")
     all_cmd.add_argument("--ingress", type=int, default=200)
     all_cmd.add_argument("--scale", type=float, default=0.005)
@@ -371,6 +377,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        # Static analysis never runs an experiment: no reporter, no
+        # observability session, exit code straight from the linter.
+        from .staticcheck.__main__ import run_from_args
+        return run_from_args(args)
     reporter = _Reporter(args.out, quiet=args.quiet,
                          show_report=args.report)
     want_metrics = args.metrics_out is not None

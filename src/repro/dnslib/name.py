@@ -67,7 +67,9 @@ class Name:
             raise NameError_(f"name exceeds {MAX_NAME_LENGTH} octets")
         self._labels = labels
         self._folded = tuple(lab.lower() for lab in labels)
-        self._hash = hash(self._folded)
+        # Cached __hash__ value only; per-process salting is fine because
+        # the hash never orders any observable output.
+        self._hash = hash(self._folded)  # repro-lint: disable=RS001
         self._text: str = ""
 
     # -- constructors ------------------------------------------------------

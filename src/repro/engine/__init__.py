@@ -16,6 +16,8 @@ import cycle through :mod:`repro.analysis`.
 
 from __future__ import annotations
 
+from typing import Any
+
 from .executor import EngineReport, ShardStats, run_sharded
 from .seeding import WORLD_SHARD, derive_seed, world_seed
 from .sharding import (DEFAULT_SHARDS, partition_by_key, shard_bounds,
@@ -35,7 +37,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     submodule = _LAZY.get(name)
     if submodule is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -103,7 +103,8 @@ _Outcome = Tuple[Any, float, Optional[MetricsRegistry],
                  Optional[List[Span]], int]
 
 
-def _observed_call(fn: Callable[..., Any], args: Tuple, shard_index: int,
+def _observed_call(fn: Callable[..., Any], args: Tuple[Any, ...],
+                   shard_index: int,
                    capture_metrics: bool, capture_traces: bool) -> _Outcome:
     """Run ``fn(*args)`` timed, against fresh per-shard obs collectors.
 
@@ -126,13 +127,14 @@ def _observed_call(fn: Callable[..., Any], args: Tuple, shard_index: int,
         seconds = time.perf_counter() - start
         if capture_metrics:
             registry = obs_metrics.swap(previous_registry)
-        if capture_traces:
+        if tracer is not None:
             obs_trace.swap(previous_tracer)
             spans, dropped = tracer.spans, tracer.dropped
     return result, seconds, registry, spans, dropped
 
 
-def _observed_call_chunk(fn: Callable[..., Any], chunk: Sequence[Tuple],
+def _observed_call_chunk(fn: Callable[..., Any],
+                         chunk: Sequence[Tuple[Any, ...]],
                          base_index: int, capture_metrics: bool,
                          capture_traces: bool) -> List[_Outcome]:
     """Run several consecutive shards in one worker dispatch.
@@ -147,7 +149,8 @@ def _observed_call_chunk(fn: Callable[..., Any], chunk: Sequence[Tuple],
             for offset, args in enumerate(chunk)]
 
 
-def _timed_call(fn: Callable[..., Any], args: Tuple) -> Tuple[Any, float]:
+def _timed_call(fn: Callable[..., Any],
+                args: Tuple[Any, ...]) -> Tuple[Any, float]:
     """Run ``fn(*args)`` and measure it (no observability capture)."""
     result, seconds, _, _, _ = _observed_call(fn, args, 0, False, False)
     return result, seconds
@@ -159,7 +162,8 @@ def _chunk_bounds(total: int, chunk_size: int) -> List[Tuple[int, int]]:
             for lo in range(0, total, chunk_size)]
 
 
-def run_sharded(fn: Callable[..., Any], shard_args: Sequence[Tuple],
+def run_sharded(fn: Callable[..., Any],
+                shard_args: Sequence[Tuple[Any, ...]],
                 workers: int = 1, task: str = "engine",
                 count_of: Optional[Callable[[Any], int]] = None,
                 chunk_size: Optional[int] = None
@@ -239,6 +243,6 @@ def _fold_observability(report: EngineReport, outcomes: Sequence[_Outcome],
             dropped_total += dropped
         report.spans = all_spans
         report.spans_dropped = dropped_total
-        parent = obs_trace.ACTIVE
-        if parent is not None:
-            parent.absorb(all_spans, dropped_total)
+        parent_tracer = obs_trace.ACTIVE
+        if parent_tracer is not None:
+            parent_tracer.absorb(all_spans, dropped_total)

@@ -16,14 +16,38 @@ order.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional, Protocol, Sequence, Tuple
 
 from ..obs import metrics as _obs_metrics
 from .executor import EngineReport, run_sharded
 from .sharding import DEFAULT_SHARDS
 
 
-def _build_shard(builder: Any, shard_index: int, shard_count: int) -> list:
+class ShardableBuilder(Protocol):
+    """Structural contract for builders the engine can shard.
+
+    Any dataset builder with these three methods (all of
+    ``repro.datasets``'s builders qualify) can be handed to
+    :func:`generate_records` / :func:`generate_dataset`; no inheritance
+    is required.
+    """
+
+    def shard_units(self) -> int:
+        """Size of the unit universe being divided across shards."""
+        ...
+
+    def build_shard(self, shard_index: int,
+                    shard_count: int) -> List[Any]:
+        """One shard's records, ts-sorted, seeded only by the index."""
+        ...
+
+    def assemble(self, shard_lists: Sequence[List[Any]]) -> Any:
+        """Order-stable merge of the shard lists into the dataset."""
+        ...
+
+
+def _build_shard(builder: ShardableBuilder, shard_index: int,
+                 shard_count: int) -> List[Any]:
     """Worker entry point; module-level so it pickles by reference."""
     records = builder.build_shard(shard_index, shard_count)
     reg = _obs_metrics.ACTIVE
@@ -34,9 +58,10 @@ def _build_shard(builder: Any, shard_index: int, shard_count: int) -> list:
     return records
 
 
-def generate_records(builder: Any, shards: int = DEFAULT_SHARDS,
+def generate_records(builder: ShardableBuilder,
+                     shards: int = DEFAULT_SHARDS,
                      workers: int = 1, chunk_size: Optional[int] = None
-                     ) -> Tuple[List[list], EngineReport]:
+                     ) -> Tuple[List[List[Any]], EngineReport]:
     """Generate all shards of ``builder``; returns per-shard record lists.
 
     The lists come back in shard order, each sorted by timestamp — ready
@@ -53,7 +78,8 @@ def generate_records(builder: Any, shards: int = DEFAULT_SHARDS,
                        task=f"generate:{name}", chunk_size=chunk_size)
 
 
-def generate_dataset(builder: Any, shards: int = DEFAULT_SHARDS,
+def generate_dataset(builder: ShardableBuilder,
+                     shards: int = DEFAULT_SHARDS,
                      workers: int = 1,
                      chunk_size: Optional[int] = None
                      ) -> Tuple[Any, EngineReport]:

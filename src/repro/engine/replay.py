@@ -17,7 +17,7 @@ The shard count is fixed independently of the worker count, so
 from __future__ import annotations
 
 from operator import attrgetter
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.cache_sim import (ReplayPartial, ReplayResult,
                                   merge_partials, replay_partial,
@@ -29,27 +29,30 @@ from .executor import EngineReport, run_sharded
 from .sharding import DEFAULT_SHARDS, partition_by_key
 
 
-def _allnames_client(r):
-    return r.client_ip
+def _allnames_client(r: Any) -> str:
+    return str(r.client_ip)
 
 
-def _public_cdn_client(r):
-    return r.ecs_address
+def _public_cdn_client(r: Any) -> str:
+    return str(r.ecs_address)
 
 
-def _scope(r):
-    return r.scope
+def _scope(r: Any) -> int:
+    return int(r.scope)
 
 
-def _ttl(r):
-    return r.ttl
+def _ttl(r: Any) -> int:
+    return int(r.ttl)
 
+
+#: One field accessor: trace records are plain dataclasses read by name.
+Accessor = Callable[[Any], Any]
 
 #: Accessor trios by trace kind.  Module-level named functions (not
 #: lambdas) so shard work units pickle cleanly into pool workers.  Kept
 #: as the readable reference; the shard worker itself uses the batched
 #: field-name path below.
-ACCESSORS: Dict[str, Tuple[Callable, Callable, Callable]] = {
+ACCESSORS: Dict[str, Tuple[Accessor, Accessor, Accessor]] = {
     "allnames": (_allnames_client, _scope, _ttl),
     "public-cdn": (_public_cdn_client, _scope, _ttl),
 }
@@ -68,7 +71,7 @@ CLIENT_FIELDS: Dict[str, str] = {
 TRACED_RECORDS_PER_SHARD = 1000
 
 
-def _replay_shard(records: list, kind: str) -> ReplayPartial:
+def _replay_shard(records: List[Any], kind: str) -> ReplayPartial:
     """Worker entry point: replay one shard of a partitioned trace.
 
     Uses the batched access path (hoisted attrgetter, no per-record
@@ -77,18 +80,22 @@ def _replay_shard(records: list, kind: str) -> ReplayPartial:
     tracer active the shard runs the span-emitting twin (same tracker
     call sequence, so identical counters); with only a registry active
     the batched loop runs untouched and the partial's aggregate counters
-    are recorded after the fact.
+    are recorded after the fact.  The helpers below take the collector
+    as a parameter so the None guard lives here, once (RS003).
     """
-    if _obs_trace.ACTIVE is not None:
-        partial = _replay_shard_traced(records, kind)
+    tracer = _obs_trace.ACTIVE
+    if tracer is not None:
+        partial = _replay_shard_traced(tracer, records, kind)
     else:
         partial = replay_partial_batched(records, CLIENT_FIELDS[kind])
-    if _obs_metrics.ACTIVE is not None:
-        _record_replay_metrics(kind, partial)
+    reg = _obs_metrics.ACTIVE
+    if reg is not None:
+        _record_replay_metrics(reg, kind, partial)
     return partial
 
 
-def _replay_shard_traced(records: list, kind: str) -> ReplayPartial:
+def _replay_shard_traced(tracer: _obs_trace.Tracer, records: List[Any],
+                         kind: str) -> ReplayPartial:
     """Span-emitting twin of the batched replay loop.
 
     Issues the exact same :meth:`ScopeTracker.access` sequence as
@@ -97,7 +104,6 @@ def _replay_shard_traced(records: list, kind: str) -> ReplayPartial:
     :data:`TRACED_RECORDS_PER_SHARD` records additionally emit a
     ``replay.query`` span carrying both cache verdicts.
     """
-    tracer = _obs_trace.ACTIVE
     ecs = ScopeTracker(use_ecs=True)
     plain = ScopeTracker(use_ecs=False)
     get = attrgetter("ts", "qname", "qtype", CLIENT_FIELDS[kind],
@@ -121,7 +127,8 @@ def _replay_shard_traced(records: list, kind: str) -> ReplayPartial:
                          ecs.max_size, plain.max_size)
 
 
-def _record_replay_metrics(kind: str, partial: ReplayPartial) -> None:
+def _record_replay_metrics(reg: _obs_metrics.MetricsRegistry, kind: str,
+                           partial: ReplayPartial) -> None:
     """Record one shard's replay outcome as aggregate instruments.
 
     Called once per shard *after* the hot loop, so metrics collection adds
@@ -129,7 +136,6 @@ def _record_replay_metrics(kind: str, partial: ReplayPartial) -> None:
     to a sum-mode gauge because disjoint shard caches add (the same
     argument as :class:`ReplayPartial` merging).
     """
-    reg = _obs_metrics.ACTIVE
     lookups = reg.counter(
         "repro_replay_cache_lookups_total",
         "Replay cache lookups by trace kind, cache flavor and outcome.",
@@ -149,11 +155,11 @@ def _record_replay_metrics(kind: str, partial: ReplayPartial) -> None:
                 ("kind",)).inc(partial.queries, kind)
 
 
-def _qname_of(record) -> str:
-    return record.qname
+def _qname_of(record: Any) -> str:
+    return str(record.qname)
 
 
-def replay_sharded(records: Sequence, kind: str,
+def replay_sharded(records: Sequence[Any], kind: str,
                    shards: int = DEFAULT_SHARDS, workers: int = 1,
                    chunk_size: Optional[int] = None
                    ) -> Tuple[ReplayResult, EngineReport]:

@@ -9,7 +9,7 @@ pure execution detail.  Keeping the two separate is what makes
 from __future__ import annotations
 
 import hashlib
-from typing import List, Sequence, Tuple, TypeVar
+from typing import Callable, List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -50,7 +50,7 @@ def stable_bucket(key: str, shards: int) -> int:
 
 
 def partition_by_key(items: Sequence[T], shards: int,
-                     key_of) -> List[List[T]]:
+                     key_of: Callable[[T], str]) -> List[List[T]]:
     """Split ``items`` into ``shards`` buckets by ``stable_bucket(key)``.
 
     Relative order inside each bucket follows the input order, so a

@@ -36,7 +36,9 @@ class AtlasProbe:
                          attempts: int = 3,
                          rng: Optional[random.Random] = None) -> float:
         """Median of ``attempts`` modeled TCP connects to ``target_ip``."""
-        rng = rng or random.Random(0)
+        # Deterministic default: probe timing without an explicit rng is
+        # part of the experiment identity, mirroring Network's fallback.
+        rng = rng or random.Random(0)  # repro-lint: disable=RS005
         samples = [net.tcp_handshake_ms(self.ip, target_ip, rng)
                    for _ in range(attempts)]
         return statistics.median(samples)

@@ -91,7 +91,9 @@ class Network:
         self._endpoints: Dict[str, Endpoint] = {}
         self._loss: Dict[str, float] = {}
         self._filters: list[Callable[[str, str, bytes], bool]] = []
-        self._rng = rng or random.Random(0)
+        # The constant-0 fallback IS the experiment identity: a Network
+        # built without an explicit rng must behave identically run to run.
+        self._rng = rng or random.Random(0)  # repro-lint: disable=RS005
 
     # -- registry ----------------------------------------------------------
 

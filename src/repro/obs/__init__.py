@@ -58,7 +58,7 @@ class ObsSession:
     """One activation of metrics and/or tracing (see :func:`observe`)."""
 
     def __init__(self, registry: Optional[MetricsRegistry],
-                 tracer: Optional[Tracer]):
+                 tracer: Optional[Tracer]) -> None:
         self.registry = registry
         self.tracer = tracer
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple, Union
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .trace import Span
@@ -129,7 +129,7 @@ def _parse_labels(body: str, lineno: int) -> Dict[str, str]:
     return labels
 
 
-def parse_prometheus(text: str) -> Dict[str, Dict]:
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
     """Strictly parse Prometheus text format; raises ``ValueError``.
 
     Returns ``{metric_family: {"type": ..., "help": ..., "samples":
@@ -138,7 +138,7 @@ def parse_prometheus(text: str) -> Dict[str, Dict]:
     families expose ``_bucket``/``_sum``/``_count`` series, bucket
     counts are cumulative, and values parse as numbers.
     """
-    families: Dict[str, Dict] = {}
+    families: Dict[str, Dict[str, Any]] = {}
     for lineno, raw in enumerate(text.splitlines(), 1):
         line = raw.rstrip()
         if not line:
@@ -198,11 +198,15 @@ def parse_prometheus(text: str) -> Dict[str, Dict]:
     return families
 
 
-def _check_histogram_family(family: str,
-                            samples: List[Tuple[str, Dict, float]]) -> None:
-    by_labels: Dict[Tuple, List[Tuple[float, float]]] = {}
-    seen_sum = set()
-    seen_count = set()
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _check_histogram_family(
+        family: str,
+        samples: List[Tuple[str, Dict[str, str], float]]) -> None:
+    by_labels: Dict[LabelPairs, List[Tuple[float, float]]] = {}
+    seen_sum: Set[LabelPairs] = set()
+    seen_count: Set[LabelPairs] = set()
     for name, labels, value in samples:
         key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
         if name == f"{family}_bucket":
@@ -250,9 +254,9 @@ def write_spans_jsonl(spans: Sequence[Span], path: Union[str, Path],
     return path
 
 
-def read_spans_jsonl(path: Union[str, Path]) -> List[Dict]:
+def read_spans_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
     """Load span dicts back (summary lines excluded)."""
-    out: List[Dict] = []
+    out: List[Dict[str, Any]] = []
     for line in Path(path).read_text().splitlines():
         if not line.strip():
             continue

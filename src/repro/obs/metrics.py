@@ -22,9 +22,15 @@ ordinary return values.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Dict, Iterable, List, Optional, Sequence, Tuple,
+                    Type, TypeVar, Union)
 
 LabelKey = Tuple[str, ...]
+
+#: One histogram label-state: ``[bucket_counts, sum, count]``.  A plain
+#: mutable list (not a dataclass) so states pickle small and merge fast;
+#: the heterogeneous slots force ``Any`` element typing.
+HistogramState = List[Any]
 
 #: Default histogram buckets (upper bounds, ms-friendly); ``+Inf`` is
 #: implicit — the per-label state keeps one overflow slot past the list.
@@ -39,7 +45,7 @@ class Counter:
     kind = "counter"
 
     def __init__(self, name: str, help: str = "",
-                 labelnames: Sequence[str] = ()):
+                 labelnames: Sequence[str] = ()) -> None:
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
@@ -59,7 +65,9 @@ class Counter:
         """Label tuple -> value (a live view; copy before mutating)."""
         return self._values
 
-    def merge_from(self, other: "Counter") -> None:
+    # name/help/labelnames are identity, not state: merge_from is only
+    # reached for instruments the registry already matched by identity.
+    def merge_from(self, other: "Counter") -> None:  # repro-lint: disable=RS002
         for key, value in other._values.items():
             self._values[key] = self._values.get(key, 0.0) + value
 
@@ -77,7 +85,7 @@ class Gauge:
     kind = "gauge"
 
     def __init__(self, name: str, help: str = "",
-                 labelnames: Sequence[str] = (), mode: str = "sum"):
+                 labelnames: Sequence[str] = (), mode: str = "sum") -> None:
         if mode not in ("sum", "max"):
             raise ValueError(f"unknown gauge merge mode {mode!r}")
         self.name = name
@@ -109,7 +117,8 @@ class Gauge:
     def samples(self) -> Dict[LabelKey, float]:
         return self._values
 
-    def merge_from(self, other: "Gauge") -> None:
+    # name/help/labelnames are identity, not state (see Counter.merge_from).
+    def merge_from(self, other: "Gauge") -> None:  # repro-lint: disable=RS002
         for key, value in other._values.items():
             current = self._values.get(key)
             if current is None:
@@ -134,16 +143,16 @@ class Histogram:
 
     def __init__(self, name: str, help: str = "",
                  labelnames: Sequence[str] = (),
-                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
         self.buckets = tuple(sorted(buckets))
         if not self.buckets:
             raise ValueError("a histogram needs at least one bucket bound")
-        self._states: Dict[LabelKey, List] = {}
+        self._states: Dict[LabelKey, HistogramState] = {}
 
-    def _state(self, key: LabelKey) -> List:
+    def _state(self, key: LabelKey) -> HistogramState:
         state = self._states.get(key)
         if state is None:
             state = [[0] * (len(self.buckets) + 1), 0.0, 0]
@@ -158,21 +167,23 @@ class Histogram:
 
     def count(self, *labelvalues: str) -> int:
         state = self._states.get(labelvalues)
-        return state[2] if state else 0
+        return int(state[2]) if state else 0
 
     def sum(self, *labelvalues: str) -> float:
         state = self._states.get(labelvalues)
-        return state[1] if state else 0.0
+        return float(state[1]) if state else 0.0
 
     def bucket_counts(self, *labelvalues: str) -> List[int]:
         """Per-bucket (non-cumulative) counts, overflow slot last."""
         state = self._states.get(labelvalues)
         return list(state[0]) if state else [0] * (len(self.buckets) + 1)
 
-    def samples(self) -> Dict[LabelKey, List]:
+    def samples(self) -> Dict[LabelKey, HistogramState]:
         return self._states
 
-    def merge_from(self, other: "Histogram") -> None:
+    # help/labelnames are identity, not state (see Counter.merge_from);
+    # buckets ARE state-bearing and are checked below.
+    def merge_from(self, other: "Histogram") -> None:  # repro-lint: disable=RS002
         if other.buckets != self.buckets:
             raise ValueError(
                 f"cannot merge histogram {self.name!r}: bucket bounds "
@@ -184,7 +195,14 @@ class Histogram:
             state[2] += n
 
 
+#: Union of every instrument kind a registry can hold.
+AnyInstrument = Union[Counter, Gauge, Histogram]
+
+#: isinstance()-friendly tuple of the instrument classes.
 Instrument = (Counter, Gauge, Histogram)
+
+#: Value-restricted type for get-or-create dispatch.
+_I = TypeVar("_I", Counter, Gauge, Histogram)
 
 
 class MetricsRegistry:
@@ -198,11 +216,12 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._instruments: Dict[str, object] = {}
+        self._instruments: Dict[str, AnyInstrument] = {}
 
     # -- registration -------------------------------------------------------
 
-    def _get_or_create(self, cls, name: str, *args, **kwargs):
+    def _get_or_create(self, cls: Type[_I], name: str, *args: Any,
+                       **kwargs: Any) -> _I:
         instrument = self._instruments.get(name)
         if instrument is not None:
             if not isinstance(instrument, cls):
@@ -229,10 +248,10 @@ class MetricsRegistry:
 
     # -- inspection ---------------------------------------------------------
 
-    def get(self, name: str):
+    def get(self, name: str) -> Optional[AnyInstrument]:
         return self._instruments.get(name)
 
-    def instruments(self) -> List:
+    def instruments(self) -> List[AnyInstrument]:
         """Instruments sorted by name (deterministic export order)."""
         return [self._instruments[name]
                 for name in sorted(self._instruments)]
@@ -253,27 +272,29 @@ class MetricsRegistry:
         Returns ``self`` for chaining.
         """
         for name, theirs in other._instruments.items():
-            mine = self._instruments.get(name)
-            if mine is None:
-                if isinstance(theirs, Counter):
-                    mine = self.counter(name, theirs.help, theirs.labelnames)
-                elif isinstance(theirs, Gauge):
-                    mine = self.gauge(name, theirs.help, theirs.labelnames,
-                                      theirs.mode)
-                else:
-                    mine = self.histogram(name, theirs.help,
-                                          theirs.labelnames, theirs.buckets)
-            mine.merge_from(theirs)
+            # get-or-create ignores the declaration args for an existing
+            # instrument (and raises on a kind clash), so dispatching on
+            # the incoming kind covers both the fresh and shared cases.
+            if isinstance(theirs, Counter):
+                self.counter(name, theirs.help,
+                             theirs.labelnames).merge_from(theirs)
+            elif isinstance(theirs, Gauge):
+                self.gauge(name, theirs.help, theirs.labelnames,
+                           theirs.mode).merge_from(theirs)
+            else:
+                self.histogram(name, theirs.help, theirs.labelnames,
+                               theirs.buckets).merge_from(theirs)
         return self
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Pure merge: a new registry holding the combined samples."""
         return MetricsRegistry().merge_from(self).merge_from(other)
 
-    def as_dict(self) -> Dict[str, Dict]:
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
         """JSON-friendly snapshot (label tuples become ``|``-joined keys)."""
-        out: Dict[str, Dict] = {}
+        out: Dict[str, Dict[str, Any]] = {}
         for instrument in self.instruments():
+            values: Dict[str, Any]
             if isinstance(instrument, Histogram):
                 values = {"|".join(k): {"count": s[2], "sum": s[1],
                                         "buckets": list(s[0])}

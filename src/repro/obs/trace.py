@@ -27,7 +27,8 @@ import itertools
 import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import (Any, ContextManager, Dict, Iterator, List, Optional,
+                    Tuple)
 
 #: Spans kept per tracer before further spans are counted but not stored
 #: (a memory backstop for long runs with tracing left on).
@@ -67,21 +68,21 @@ class Tracer:
     """
 
     def __init__(self, id_prefix: str = "t",
-                 limit: int = DEFAULT_SPAN_LIMIT):
+                 limit: int = DEFAULT_SPAN_LIMIT) -> None:
         self.id_prefix = id_prefix
         self.limit = limit
         self.spans: List[Span] = []
         self.dropped = 0
         self._seq = itertools.count(1)
         #: (trace_id, span_id) of the open spans, outermost first.
-        self._stack: List[tuple] = []
+        self._stack: List[Tuple[str, str]] = []
 
     # -- ids ----------------------------------------------------------------
 
     def _next_id(self) -> str:
         return f"{self.id_prefix}-{next(self._seq)}"
 
-    def current(self) -> Optional[tuple]:
+    def current(self) -> Optional[Tuple[str, str]]:
         """(trace_id, span_id) of the innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
@@ -155,7 +156,7 @@ class Tracer:
 #: guards read this slot directly (``trace.ACTIVE is not None``).
 ACTIVE: Optional[Tracer] = None
 
-_NULL = nullcontext(None)
+_NULL: ContextManager[None] = nullcontext(None)
 
 
 def active() -> Optional[Tracer]:
@@ -184,7 +185,7 @@ def swap(tracer: Optional[Tracer]) -> Optional[Tracer]:
     return previous
 
 
-def span(name: str, **attrs: Any):
+def span(name: str, **attrs: Any) -> ContextManager[Optional[Span]]:
     """Open a span on the active tracer; a no-op context when disabled."""
     tracer = ACTIVE
     if tracer is None:

@@ -1,0 +1,331 @@
+"""Rule registry, suppression handling, and the per-file lint driver.
+
+The framework is deliberately tiny: a *rule* is an object with an ``id``
+(``RSnnn``), a ``name``, and a ``check`` hook.  AST rules receive a
+:class:`LintContext` wrapping one parsed Python file and append
+:class:`Violation` records to it; file rules (e.g. the Prometheus
+exposition check) receive a path and return violations directly, so
+non-Python artifacts ride the same reporting pipeline.
+
+Suppressions are source comments::
+
+    risky_line()  # repro-lint: disable=RS001
+    # repro-lint: disable-file=RS002   (anywhere in the file)
+
+A ``disable`` comment silences matching violations *on its own line*; a
+``disable-file`` comment silences them for the whole file.  Suppressions
+that silence nothing are themselves reported (rule :data:`UNUSED_ID`),
+so stale escapes cannot linger after the code they excused is fixed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .config import Config
+
+#: Reported when a suppression comment matches no violation.
+UNUSED_ID = "RS000"
+UNUSED_NAME = "unused-suppression"
+
+#: Reported when a Python file does not parse.
+SYNTAX_ID = "RS999"
+SYNTAX_NAME = "syntax-error"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: where, which rule, and what went wrong."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} [{self.rule_name}] {self.message}")
+
+
+class LintContext:
+    """Everything an AST rule needs about the file under inspection."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 config: Config) -> None:
+        self.path = path
+        self.posix_path = Path(path).as_posix()
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.violations: List[Violation] = []
+
+    @property
+    def is_test(self) -> bool:
+        return self.config.is_test_path(self.posix_path)
+
+    @property
+    def allows_clock(self) -> bool:
+        return self.config.allows_clock(self.posix_path)
+
+    @property
+    def in_obs(self) -> bool:
+        """True inside ``repro.obs`` (the layer RS003 protects callers of)."""
+        return "/obs/" in self.posix_path or \
+            self.posix_path.endswith("/obs.py")
+
+    def report(self, rule: "AstRule", node: ast.AST, message: str) -> None:
+        self.violations.append(Violation(
+            self.path, getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0), rule.id, rule.name, message))
+
+
+class AstRule:
+    """Base class for rules that walk one parsed Python module."""
+
+    id: str = ""
+    name: str = ""
+
+    def check(self, ctx: LintContext) -> None:
+        raise NotImplementedError
+
+
+class FileRule:
+    """Base class for rules over non-Python files (matched by suffix)."""
+
+    id: str = ""
+    name: str = ""
+
+    def applies(self, path: Path) -> bool:
+        raise NotImplementedError
+
+    def check_file(self, path: Path, config: Config) -> List[Violation]:
+        raise NotImplementedError
+
+
+_AST_RULES: Dict[str, AstRule] = {}
+_FILE_RULES: Dict[str, FileRule] = {}
+
+
+def register(rule: "AstRule | FileRule") -> "AstRule | FileRule":
+    """Add ``rule`` to the registry (idempotent per rule ID)."""
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {rule!r} must declare id and name")
+    if isinstance(rule, AstRule):
+        existing: Optional[object] = _AST_RULES.get(rule.id)
+        if existing is not None and type(existing) is not type(rule):
+            raise ValueError(f"rule id {rule.id} registered twice")
+        _AST_RULES[rule.id] = rule
+    else:
+        existing = _FILE_RULES.get(rule.id)
+        if existing is not None and type(existing) is not type(rule):
+            raise ValueError(f"rule id {rule.id} registered twice")
+        _FILE_RULES[rule.id] = rule
+    return rule
+
+
+def ast_rules() -> List[AstRule]:
+    _ensure_rules_loaded()
+    return [_AST_RULES[rid] for rid in sorted(_AST_RULES)]
+
+
+def file_rules() -> List[FileRule]:
+    _ensure_rules_loaded()
+    return [_FILE_RULES[rid] for rid in sorted(_FILE_RULES)]
+
+
+def all_rule_ids() -> List[str]:
+    _ensure_rules_loaded()
+    return sorted([*_AST_RULES, *_FILE_RULES])
+
+
+def _ensure_rules_loaded() -> None:
+    """Import the rule modules exactly once (they self-register)."""
+    from . import rules  # noqa: F401  (import for side effect)
+
+
+def _selected_ids(config: Config) -> Set[str]:
+    ids = set(all_rule_ids())
+    if config.select:
+        ids &= set(config.select)
+    ids -= set(config.ignore)
+    return ids
+
+
+# ---------------------------------------------------------------------------
+# suppression comments
+
+
+_SUPPRESS_RE = re.compile(
+    r"repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s-]+)")
+
+
+class Suppressions:
+    """Per-file suppression table with use tracking."""
+
+    def __init__(self) -> None:
+        #: line -> rule IDs disabled on that line
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_level: Set[str] = set()
+        #: comment line of each (line-or-0, rule) suppression, for RS000
+        self.declared_at: Dict[Tuple[int, str], int] = {}
+        self.used: Set[Tuple[int, str]] = set()
+
+    def add(self, comment_line: int, directive: str, rule_ids: Iterable[str]
+            ) -> None:
+        for rule_id in rule_ids:
+            if directive == "disable-file":
+                self.file_level.add(rule_id)
+                self.declared_at.setdefault((0, rule_id), comment_line)
+            else:
+                self.by_line.setdefault(comment_line, set()).add(rule_id)
+                self.declared_at.setdefault((comment_line, rule_id),
+                                            comment_line)
+
+    def suppresses(self, violation: Violation) -> bool:
+        """True (and marks the suppression used) when ``violation`` matches."""
+        if violation.rule_id in self.by_line.get(violation.line, ()):
+            self.used.add((violation.line, violation.rule_id))
+            return True
+        if violation.rule_id in self.file_level:
+            self.used.add((0, violation.rule_id))
+            return True
+        return False
+
+    def unused(self, active_ids: Set[str]) -> List[Tuple[int, str]]:
+        """(comment line, rule id) of suppressions that silenced nothing.
+
+        Suppressions for rules that were not run (deselected or unknown
+        but plausibly from another toolchain) are not counted unused —
+        except completely unknown IDs, which are always reported so
+        typos like ``RS0001`` cannot silently disarm a suppression.
+        """
+        out: List[Tuple[int, str]] = []
+        known = set(all_rule_ids())
+        for key, comment_line in sorted(self.declared_at.items()):
+            _, rule_id = key
+            if key in self.used:
+                continue
+            if rule_id in known and rule_id not in active_ids:
+                continue  # rule deselected this run; keep the suppression
+            out.append((comment_line, rule_id))
+        return out
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract ``repro-lint`` comments (tokenize-accurate, string-safe)."""
+    table = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        comments = [(lineno, "#" + line.split("#", 1)[1])
+                    for lineno, line in enumerate(source.splitlines(), 1)
+                    if "#" in line]
+    for lineno, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        directive = match.group(1)
+        ids = [part.strip() for part in match.group(2).split(",")]
+        table.add(lineno, directive, [rid for rid in ids if rid])
+    return table
+
+
+# ---------------------------------------------------------------------------
+# the per-file driver
+
+
+def lint_source(source: str, path: str, config: Optional[Config] = None,
+                rule_ids: Optional[Sequence[str]] = None) -> List[Violation]:
+    """Lint one Python source string; returns sorted violations.
+
+    ``rule_ids`` restricts the run (mainly for tests); it composes with
+    ``config.select``/``config.ignore``.
+    """
+    config = config or Config()
+    active = _selected_ids(config)
+    if rule_ids is not None:
+        active &= set(rule_ids)
+    suppressions = parse_suppressions(source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 1, (exc.offset or 1) - 1,
+                          SYNTAX_ID, SYNTAX_NAME,
+                          f"file does not parse: {exc.msg}")]
+    ctx = LintContext(path, source, tree, config)
+    for rule in ast_rules():
+        if rule.id in active:
+            rule.check(ctx)
+    kept = [v for v in ctx.violations if not suppressions.suppresses(v)]
+    for comment_line, rule_id in suppressions.unused(active):
+        kept.append(Violation(
+            path, comment_line, 0, UNUSED_ID, UNUSED_NAME,
+            f"suppression for {rule_id} matches no violation; remove it"))
+    return sorted(kept)
+
+
+def _lint_one_file(path: Path, config: Config,
+                   rule_ids: Optional[Sequence[str]]) -> List[Violation]:
+    if path.suffix == ".py":
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [Violation(str(path), 1, 0, SYNTAX_ID, SYNTAX_NAME,
+                              f"cannot read file: {exc}")]
+        return lint_source(source, str(path), config, rule_ids)
+    active = _selected_ids(config)
+    if rule_ids is not None:
+        active &= set(rule_ids)
+    out: List[Violation] = []
+    for rule in file_rules():
+        if rule.id in active and rule.applies(path):
+            out.extend(rule.check_file(path, config))
+    return sorted(out)
+
+
+def iter_lintable_files(paths: Sequence["str | Path"],
+                        config: Config) -> List[Path]:
+    """Expand ``paths``: directories walk to ``*.py``, files pass through.
+
+    Non-Python files are only linted when named explicitly (or via
+    ``--prom``): directory walks stick to Python sources, so a reports
+    directory inside a lint root never drags artifacts into the run.
+    """
+    out: List[Path] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: List[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if config.is_excluded(candidate.as_posix()):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+    return out
+
+
+def lint_paths(paths: Sequence["str | Path"],
+               config: Optional[Config] = None,
+               rule_ids: Optional[Sequence[str]] = None
+               ) -> Tuple[List[Violation], int]:
+    """Lint files/directories; returns (violations, files checked)."""
+    config = config or Config()
+    files = iter_lintable_files(paths, config)
+    violations: List[Violation] = []
+    for path in files:
+        violations.extend(_lint_one_file(path, config, rule_ids))
+    return sorted(violations), len(files)

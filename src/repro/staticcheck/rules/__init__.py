@@ -1,0 +1,24 @@
+"""Domain rules for the invariant linter.
+
+Importing this package registers every rule with
+:mod:`repro.staticcheck.core`:
+
+========  ====================  ==============================================
+ID        name                  invariant
+========  ====================  ==============================================
+RS001     determinism           no wall-clock/entropy/hash-order sources
+RS002     merge-completeness    merge methods fold every field
+RS003     obs-guard             obs calls guarded on the ACTIVE slot
+RS004     ecs-conformance       ECS literals within RFC 7871 bounds
+RS005     seeded-rng            every ``random.Random`` is plumbed a seed
+RS100     prom-exposition       ``.prom`` files parse as strict Prometheus
+========  ====================  ==============================================
+
+(RS000 unused-suppression and RS999 syntax-error live in the core.)
+"""
+
+from __future__ import annotations
+
+from . import determinism, ecs, merge, obsguard, prom  # noqa: F401
+
+__all__ = ["determinism", "ecs", "merge", "obsguard", "prom"]

@@ -1,0 +1,134 @@
+"""RS004 — ECS conformance (RFC 7871 section 6 bounds, checked statically).
+
+The wire codec in :mod:`repro.dnslib.edns` validates ECS fields at
+encode/decode time, but a literal that violates the RFC — a family code
+outside {1, 2}, a source or scope prefix length beyond the family's
+address width (32 for IPv4, 128 for IPv6) — is a bug the moment it is
+written, not the moment it is serialized.  This rule bounds-checks
+integer literals flowing into the known ECS constructors:
+
+- ``EcsOption(family, source_prefix_length, scope_prefix_length, addr)``
+- ``EcsOption.from_client_address(address, source_prefix_length,
+  scope_prefix_length)`` (family inferred from a literal address string)
+- ``<option>.response_to(scope_prefix_length)``
+
+Only literals are judged; values computed at runtime are the codec's
+job.  Family constants ``ECS_FAMILY_IPV4``/``ECS_FAMILY_IPV6`` resolve
+to 1/2 so constant-by-name call sites are still checked exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..core import AstRule, LintContext, register
+
+#: RFC 7871: ADDRESS FAMILY 1 = IPv4 (32-bit), 2 = IPv6 (128-bit).
+_FAMILY_BITS = {1: 32, 2: 128}
+
+_FAMILY_CONSTANTS = {"ECS_FAMILY_IPV4": 1, "ECS_FAMILY_IPV6": 2}
+
+
+def _terminal_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _int_literal(node: Optional[ast.AST]) -> Optional[int]:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _int_literal(node.operand)
+        return -inner if inner is not None else None
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+def _family_of(node: Optional[ast.AST]) -> Optional[int]:
+    literal = _int_literal(node)
+    if literal is not None:
+        return literal
+    name = _terminal_name(node) if node is not None else None
+    if name in _FAMILY_CONSTANTS:
+        return _FAMILY_CONSTANTS[name]
+    return None
+
+
+def _arg(node: ast.Call, position: int, keyword: str) -> Optional[ast.AST]:
+    for kw in node.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if len(node.args) > position:
+        return node.args[position]
+    return None
+
+
+class EcsConformanceRule(AstRule):
+    """RS004 — ECS literals must satisfy RFC 7871 bounds."""
+
+    id = "RS004"
+    name = "ecs-conformance"
+
+    def check(self, ctx: LintContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _terminal_name(node.func)
+            if name == "EcsOption":
+                self._check_constructor(ctx, node)
+            elif name == "from_client_address":
+                self._check_from_client(ctx, node)
+            elif name == "response_to":
+                self._check_prefix(ctx, node, _arg(node, 0,
+                                                   "scope_prefix_length"),
+                                   "scope prefix length", 128)
+
+    def _check_constructor(self, ctx: LintContext, node: ast.Call) -> None:
+        family_node = _arg(node, 0, "family")
+        family = _family_of(family_node)
+        if family_node is not None and _int_literal(family_node) is not None \
+                and family not in _FAMILY_BITS:
+            ctx.report(self, node,
+                       f"ECS family {family} is not defined by RFC 7871 "
+                       f"(1 = IPv4, 2 = IPv6)")
+            family = None
+        bits = _FAMILY_BITS.get(family, 128) if family is not None else 128
+        label = f"for family {family} ({bits}-bit)" if family is not None \
+            else "(no ECS family is wider than 128 bits)"
+        self._check_prefix(ctx, node, _arg(node, 1, "source_prefix_length"),
+                           f"source prefix length {label}", bits)
+        self._check_prefix(ctx, node, _arg(node, 2, "scope_prefix_length"),
+                           f"scope prefix length {label}", bits)
+
+    def _check_from_client(self, ctx: LintContext, node: ast.Call) -> None:
+        address = _arg(node, 0, "address")
+        bits = 128
+        label = "(no ECS family is wider than 128 bits)"
+        if isinstance(address, ast.Constant) \
+                and isinstance(address.value, str):
+            if ":" in address.value:
+                bits, label = 128, "for an IPv6 client (128-bit)"
+            else:
+                bits, label = 32, "for an IPv4 client (32-bit)"
+        self._check_prefix(ctx, node, _arg(node, 1, "source_prefix_length"),
+                           f"source prefix length {label}", bits)
+        self._check_prefix(ctx, node, _arg(node, 2, "scope_prefix_length"),
+                           f"scope prefix length {label}", bits)
+
+    def _check_prefix(self, ctx: LintContext, node: ast.Call,
+                      value: Optional[ast.AST], what: str,
+                      bits: int) -> None:
+        literal = _int_literal(value)
+        if literal is None:
+            return
+        if not 0 <= literal <= bits:
+            ctx.report(self, node,
+                       f"ECS {what} must be within 0..{bits}, "
+                       f"got {literal} (RFC 7871 section 6)")
+
+
+register(EcsConformanceRule())

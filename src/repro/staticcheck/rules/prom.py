@@ -1,0 +1,68 @@
+"""RS100 — Prometheus exposition conformance (a non-AST file rule).
+
+Wraps the strict parser from :func:`repro.obs.export.parse_prometheus`
+as a registered rule so ``repro lint --prom metrics.prom`` (or naming a
+``.prom`` file directly) replaces the standalone
+``tools/lint_prometheus.py`` script; the script remains as a thin shim
+over :func:`lint_prom_file` for the existing CI obs-smoke job.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Tuple
+
+from ..config import Config
+from ..core import FileRule, Violation, register
+
+_LINE_RE = re.compile(r"line (\d+):")
+
+
+def check_prom_text(text: str) -> Tuple[int, int]:
+    """(family count, sample count); raises ``ValueError`` when invalid.
+
+    The exporter import is deferred so ``repro.staticcheck`` stays
+    importable (and fast) for pure-AST runs that never touch a ``.prom``
+    file.
+    """
+    from ...obs.export import parse_prometheus
+    families = parse_prometheus(text)
+    samples = sum(len(info["samples"]) for info in families.values())
+    return len(families), samples
+
+
+def lint_prom_file(path: Path) -> List[Violation]:
+    """Violations (rule RS100) for one Prometheus text-format file."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Violation(str(path), 1, 0, PromExpositionRule.id,
+                          PromExpositionRule.name,
+                          f"cannot read exposition file: {exc}")]
+    try:
+        check_prom_text(text)
+    except ValueError as exc:
+        message = str(exc)
+        match = _LINE_RE.search(message)
+        line = int(match.group(1)) if match else 1
+        return [Violation(str(path), line, 0, PromExpositionRule.id,
+                          PromExpositionRule.name,
+                          f"invalid Prometheus exposition: {message}")]
+    return []
+
+
+class PromExpositionRule(FileRule):
+    """RS100 — ``.prom`` files must parse as strict Prometheus text."""
+
+    id = "RS100"
+    name = "prom-exposition"
+
+    def applies(self, path: Path) -> bool:
+        return path.suffix == ".prom"
+
+    def check_file(self, path: Path, config: Config) -> List[Violation]:
+        return lint_prom_file(path)
+
+
+register(PromExpositionRule())

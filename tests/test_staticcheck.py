@@ -1,0 +1,624 @@
+"""The invariant linter: rules RS001-RS005 and RS100, suppressions,
+reporters, config, CLI wiring — and the meta-test that ``src/repro``
+itself lints clean.
+
+Fixture sources are linted under synthetic non-test paths (the default
+config treats ``tests/`` and ``test_*.py`` as test code, which relaxes
+RS001's hash()/clock checks and all of RS005).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main as cli_main
+from repro.staticcheck import (SCHEMA_VERSION, Config, lint_paths,
+                               lint_source, load_config, render_json,
+                               render_text, violations_to_dict)
+from repro.staticcheck.__main__ import run as lint_cli_run
+from repro.staticcheck.core import SYNTAX_ID, UNUSED_ID, all_rule_ids
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_PATH = "src/repro/example.py"
+
+
+def ids_of(violations):
+    return [v.rule_id for v in violations]
+
+
+def lint(source: str, path: str = SRC_PATH, **kwargs):
+    return lint_source(source, path, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# RS001 — determinism
+
+
+class TestDeterminismRule:
+    def test_module_level_random_call_flagged(self):
+        src = "import random\nx = random.random()\n"
+        violations = lint(src, rule_ids=["RS001"])
+        assert ids_of(violations) == ["RS001"]
+        assert violations[0].line == 2
+        assert "process-global random stream" in violations[0].message
+
+    def test_random_call_flagged_through_alias(self):
+        src = "import random as rnd\n\ndef f():\n    return rnd.choice([1])\n"
+        assert ids_of(lint(src, rule_ids=["RS001"])) == ["RS001"]
+
+    def test_from_import_random_function_flagged(self):
+        src = "from random import shuffle\nshuffle([])\n"
+        assert ids_of(lint(src, rule_ids=["RS001"])) == ["RS001"]
+
+    def test_seeded_random_instance_ok(self):
+        src = ("import random\n\ndef f(seed):\n"
+               "    rng = random.Random(seed)\n    return rng.random()\n")
+        assert lint(src, rule_ids=["RS001"]) == []
+
+    def test_wall_clock_flagged_outside_allowlist(self):
+        src = "import time\nnow = time.time()\n"
+        violations = lint(src, rule_ids=["RS001"])
+        assert ids_of(violations) == ["RS001"]
+        assert "wall-clock" in violations[0].message
+
+    def test_wall_clock_allowed_in_clock_module_and_obs(self):
+        src = "import time\nnow = time.time()\n"
+        assert lint(src, path="src/repro/net/clock.py",
+                    rule_ids=["RS001"]) == []
+        assert lint(src, path="src/repro/obs/metrics.py",
+                    rule_ids=["RS001"]) == []
+
+    def test_datetime_now_and_uuid4_flagged(self):
+        src = ("import datetime\nimport uuid\n"
+               "a = datetime.datetime.now()\nb = uuid.uuid4()\n")
+        assert ids_of(lint(src, rule_ids=["RS001"])) == ["RS001", "RS001"]
+
+    def test_builtin_hash_flagged_outside_tests(self):
+        src = "key = hash(('a', 1))\n"
+        violations = lint(src, rule_ids=["RS001"])
+        assert ids_of(violations) == ["RS001"]
+        assert "PYTHONHASHSEED" in violations[0].message
+
+    def test_hash_ok_in_test_paths(self):
+        src = "key = hash(('a', 1))\n"
+        assert lint(src, path="tests/test_x.py", rule_ids=["RS001"]) == []
+
+    def test_set_iteration_flagged_sorted_ok(self):
+        bad = "for x in {1, 2, 3}:\n    print(x)\n"
+        good = "for x in sorted({1, 2, 3}):\n    print(x)\n"
+        assert ids_of(lint(bad, rule_ids=["RS001"])) == ["RS001"]
+        assert lint(good, rule_ids=["RS001"]) == []
+
+    def test_set_comprehension_iteration_flagged(self):
+        src = "vals = [x for x in set([3, 1])]\n"
+        assert ids_of(lint(src, rule_ids=["RS001"])) == ["RS001"]
+
+
+# ---------------------------------------------------------------------------
+# RS002 — merge-completeness
+
+
+MERGEABLE_COMPLETE = """\
+from dataclasses import dataclass
+
+@dataclass
+class Partial:
+    hits: int
+    misses: int
+
+    def merge(self, other):
+        return Partial(hits=self.hits + other.hits,
+                       misses=self.misses + other.misses)
+"""
+
+MERGEABLE_MISSING = """\
+from dataclasses import dataclass
+
+@dataclass
+class Partial:
+    hits: int
+    misses: int
+    peak: int
+
+    def merge(self, other):
+        return Partial(hits=self.hits + other.hits,
+                       misses=self.misses + other.misses, peak=0)
+"""
+
+
+class TestMergeCompletenessRule:
+    def test_complete_merge_clean(self):
+        assert lint(MERGEABLE_COMPLETE, rule_ids=["RS002"]) == []
+
+    def test_missing_field_flagged(self):
+        src = MERGEABLE_MISSING.replace(", peak=0", "")
+        violations = lint(src, rule_ids=["RS002"])
+        assert ids_of(violations) == ["RS002"]
+        assert "peak" in violations[0].message
+        assert "Partial.merge" in violations[0].message
+
+    def test_keyword_reference_counts(self):
+        assert lint(MERGEABLE_MISSING, rule_ids=["RS002"]) == []
+
+    def test_plain_class_init_fields(self):
+        src = ("class Box:\n"
+               "    def __init__(self):\n"
+               "        self.a = 0\n        self.b = 0\n"
+               "    def merge_from(self, other):\n"
+               "        self.a += other.a\n")
+        violations = lint(src, rule_ids=["RS002"])
+        assert ids_of(violations) == ["RS002"]
+        assert "b" in violations[0].message
+
+    def test_class_without_merge_ignored(self):
+        src = ("class Plain:\n"
+               "    def __init__(self):\n        self.a = 0\n")
+        assert lint(src, rule_ids=["RS002"]) == []
+
+    def test_classvar_fields_exempt(self):
+        src = ("from dataclasses import dataclass\n"
+               "from typing import ClassVar\n\n"
+               "@dataclass\nclass P:\n"
+               "    kind: ClassVar[str] = 'p'\n    n: int = 0\n\n"
+               "    def merge(self, other):\n"
+               "        return P(n=self.n + other.n)\n")
+        assert lint(src, rule_ids=["RS002"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS003 — obs-guard
+
+
+OBS_PREFIX = "from repro.obs import metrics as _obs_metrics\n"
+
+
+class TestObsGuardRule:
+    def test_guard_idiom_clean(self):
+        src = OBS_PREFIX + (
+            "def f():\n"
+            "    reg = _obs_metrics.ACTIVE\n"
+            "    if reg is not None:\n"
+            "        reg.counter('c').inc()\n")
+        assert lint(src, rule_ids=["RS003"]) == []
+
+    def test_unguarded_use_flagged(self):
+        src = OBS_PREFIX + (
+            "def f():\n"
+            "    reg = _obs_metrics.ACTIVE\n"
+            "    reg.counter('c').inc()\n")
+        violations = lint(src, rule_ids=["RS003"])
+        assert ids_of(violations) == ["RS003"]
+        assert "'reg'" in violations[0].message
+
+    def test_early_return_guard_clean(self):
+        src = OBS_PREFIX + (
+            "def f():\n"
+            "    reg = _obs_metrics.ACTIVE\n"
+            "    if reg is None:\n"
+            "        return\n"
+            "    reg.counter('c').inc()\n")
+        assert lint(src, rule_ids=["RS003"]) == []
+
+    def test_and_conjunct_guard_clean(self):
+        src = OBS_PREFIX + (
+            "def f(valid):\n"
+            "    reg = _obs_metrics.ACTIVE\n"
+            "    if valid and reg is not None:\n"
+            "        reg.counter('c').inc()\n")
+        assert lint(src, rule_ids=["RS003"]) == []
+
+    def test_truthiness_guard_still_flagged(self):
+        # An empty MetricsRegistry is falsy, so `if reg:` is NOT a guard;
+        # both the truthiness test and the body use are reported.
+        src = OBS_PREFIX + (
+            "def f():\n"
+            "    reg = _obs_metrics.ACTIVE\n"
+            "    if reg:\n"
+            "        reg.counter('c').inc()\n")
+        assert ids_of(lint(src, rule_ids=["RS003"])) == ["RS003", "RS003"]
+
+    def test_inline_slot_use_flagged(self):
+        src = OBS_PREFIX + (
+            "def f():\n"
+            "    _obs_metrics.ACTIVE.counter('c').inc()\n")
+        violations = lint(src, rule_ids=["RS003"])
+        assert ids_of(violations) == ["RS003"]
+        assert "inline" in violations[0].message
+
+    def test_parameter_passing_out_of_scope(self):
+        # A helper that *receives* an already-guarded collector is clean.
+        src = OBS_PREFIX + (
+            "def helper(reg):\n"
+            "    reg.counter('c').inc()\n")
+        assert lint(src, rule_ids=["RS003"]) == []
+
+    def test_obs_and_test_modules_exempt(self):
+        src = OBS_PREFIX + (
+            "def f():\n"
+            "    reg = _obs_metrics.ACTIVE\n"
+            "    reg.counter('c').inc()\n")
+        assert lint(src, path="src/repro/obs/helper.py",
+                    rule_ids=["RS003"]) == []
+        assert lint(src, path="tests/test_x.py", rule_ids=["RS003"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS004 — ECS conformance
+
+
+class TestEcsConformanceRule:
+    def test_valid_literals_clean(self):
+        src = ("from repro.dnslib.edns import EcsOption\n"
+               "a = EcsOption(1, 24, 0, '10.0.0.0')\n"
+               "b = EcsOption(2, 56, 0, '2001:db8::')\n"
+               "c = EcsOption(family=1, source_prefix_length=32,\n"
+               "              scope_prefix_length=24, address='10.0.0.0')\n")
+        assert lint(src, rule_ids=["RS004"]) == []
+
+    def test_bad_family_flagged(self):
+        src = ("from repro.dnslib.edns import EcsOption\n"
+               "a = EcsOption(3, 24, 0, 'x')\n")
+        violations = lint(src, rule_ids=["RS004"])
+        assert ids_of(violations) == ["RS004"]
+        assert "family 3" in violations[0].message
+
+    def test_ipv4_prefix_over_32_flagged(self):
+        src = ("from repro.dnslib.edns import EcsOption\n"
+               "a = EcsOption(1, 33, 0, '10.0.0.0')\n")
+        violations = lint(src, rule_ids=["RS004"])
+        assert ids_of(violations) == ["RS004"]
+        assert "0..32" in violations[0].message
+
+    def test_ipv6_prefix_over_128_flagged(self):
+        src = ("from repro.dnslib.edns import EcsOption\n"
+               "a = EcsOption(2, 129, 0, '2001:db8::')\n")
+        assert ids_of(lint(src, rule_ids=["RS004"])) == ["RS004"]
+
+    def test_negative_prefix_flagged(self):
+        src = ("from repro.dnslib.edns import EcsOption\n"
+               "a = EcsOption(1, -1, 0, '10.0.0.0')\n")
+        assert ids_of(lint(src, rule_ids=["RS004"])) == ["RS004"]
+
+    def test_from_client_address_family_inference(self):
+        bad = ("from repro.dnslib.edns import EcsOption\n"
+               "a = EcsOption.from_client_address('10.1.2.3', 48)\n")
+        good = ("from repro.dnslib.edns import EcsOption\n"
+                "a = EcsOption.from_client_address('2001:db8::1', 48)\n")
+        assert ids_of(lint(bad, rule_ids=["RS004"])) == ["RS004"]
+        assert lint(good, rule_ids=["RS004"]) == []
+
+    def test_response_to_bounds(self):
+        bad = "scoped = opt.response_to(140)\n"
+        good = "scoped = opt.response_to(24)\n"
+        assert ids_of(lint(bad, rule_ids=["RS004"])) == ["RS004"]
+        assert lint(good, rule_ids=["RS004"]) == []
+
+    def test_runtime_values_not_judged(self):
+        src = ("from repro.dnslib.edns import EcsOption\n"
+               "def f(fam, plen):\n"
+               "    return EcsOption(fam, plen, 0, 'x')\n")
+        assert lint(src, rule_ids=["RS004"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS005 — seeded-RNG plumbing
+
+
+class TestSeededRngRule:
+    def test_unseeded_random_flagged(self):
+        src = "import random\n\ndef f():\n    return random.Random()\n"
+        violations = lint(src, rule_ids=["RS005"])
+        assert ids_of(violations) == ["RS005"]
+        assert "no seed" in violations[0].message
+
+    def test_constant_seed_flagged(self):
+        src = "import random\n\ndef f():\n    return random.Random(42)\n"
+        violations = lint(src, rule_ids=["RS005"])
+        assert ids_of(violations) == ["RS005"]
+        assert "42" in violations[0].message
+
+    def test_system_random_flagged(self):
+        src = "import random\nr = random.SystemRandom()\n"
+        violations = lint(src, rule_ids=["RS005"])
+        assert ids_of(violations) == ["RS005"]
+        assert "SystemRandom" in violations[0].message
+
+    def test_parameter_seed_ok(self):
+        src = ("import random\n\ndef f(seed):\n"
+               "    return random.Random(seed)\n")
+        assert lint(src, rule_ids=["RS005"]) == []
+
+    def test_derived_seed_ok(self):
+        src = ("import random\nfrom repro.engine.seeding import derive_seed\n"
+               "def f(root, i):\n"
+               "    return random.Random(derive_seed(root, i))\n")
+        assert lint(src, rule_ids=["RS005"]) == []
+
+    def test_tests_exempt(self):
+        src = "import random\nr = random.Random(0)\n"
+        assert lint(src, path="tests/test_x.py", rule_ids=["RS005"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS100 — Prometheus exposition (file rule)
+
+
+VALID_PROM = (
+    "# HELP requests_total Total requests.\n"
+    "# TYPE requests_total counter\n"
+    'requests_total{method="get"} 4\n'
+)
+
+INVALID_PROM = "orphan_metric 12\n"
+
+
+class TestPromRule:
+    def test_valid_file_clean(self, tmp_path):
+        path = tmp_path / "ok.prom"
+        path.write_text(VALID_PROM)
+        violations, files = lint_paths([path])
+        assert violations == [] and files == 1
+
+    def test_invalid_file_flagged_with_line(self, tmp_path):
+        path = tmp_path / "bad.prom"
+        path.write_text(INVALID_PROM)
+        violations, _ = lint_paths([path])
+        assert ids_of(violations) == ["RS100"]
+        assert violations[0].line == 1
+        assert "TYPE" in violations[0].message
+
+    def test_directory_walk_skips_prom_files(self, tmp_path):
+        (tmp_path / "bad.prom").write_text(INVALID_PROM)
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        violations, files = lint_paths([tmp_path])
+        assert violations == [] and files == 1
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+
+
+class TestSuppressions:
+    def test_line_suppression_silences(self):
+        src = "import random\nx = random.random()  # repro-lint: disable=RS001\n"
+        assert lint(src, rule_ids=["RS001"]) == []
+
+    def test_file_suppression_silences_all_matching(self):
+        src = ("# repro-lint: disable-file=RS001\n"
+               "import random\nx = random.random()\ny = random.random()\n")
+        assert lint(src, rule_ids=["RS001"]) == []
+
+    def test_suppression_is_rule_specific(self):
+        src = "import random\nx = random.random()  # repro-lint: disable=RS002\n"
+        got = lint(src, rule_ids=["RS001", "RS002"])
+        # RS001 still fires and the RS002 suppression is reported unused.
+        assert sorted(ids_of(got)) == [UNUSED_ID, "RS001"]
+
+    def test_unused_suppression_reported(self):
+        src = "x = 1  # repro-lint: disable=RS001\n"
+        violations = lint(src)
+        assert ids_of(violations) == [UNUSED_ID]
+        assert violations[0].line == 1
+        assert "RS001" in violations[0].message
+
+    def test_unused_not_reported_for_deselected_rule(self):
+        src = "x = 1  # repro-lint: disable=RS001\n"
+        assert lint(src, rule_ids=["RS002"]) == []
+
+    def test_unknown_rule_suppression_always_reported(self):
+        src = "x = 1  # repro-lint: disable=RS0042\n"
+        violations = lint(src, rule_ids=["RS002"])
+        assert ids_of(violations) == [UNUSED_ID]
+
+    def test_suppression_inside_string_ignored(self):
+        src = 'msg = "# repro-lint: disable=RS001"\n'
+        assert lint(src) == []
+
+    def test_multiple_ids_one_comment(self):
+        src = ("import random\n"
+               "x = random.Random()  # repro-lint: disable=RS005, RS001\n")
+        got = lint(src, rule_ids=["RS001", "RS005"])
+        # RS005 fires and is suppressed; the RS001 half is unused.
+        assert ids_of(got) == [UNUSED_ID]
+
+
+# ---------------------------------------------------------------------------
+# syntax errors
+
+
+def test_syntax_error_reported_as_rs999():
+    violations = lint("def broken(:\n")
+    assert ids_of(violations) == [SYNTAX_ID]
+    assert violations[0].line == 1
+
+
+# ---------------------------------------------------------------------------
+# reporters
+
+
+class TestReporters:
+    def test_text_report_lines(self):
+        src = "import random\nx = random.random()\n"
+        violations = lint(src, rule_ids=["RS001"])
+        text = render_text(violations, files_checked=1)
+        first, summary = text.splitlines()
+        assert first.startswith(f"{SRC_PATH}:2:")
+        assert "RS001" in first and "[determinism]" in first
+        assert summary == "1 violation in 1 file"
+        assert render_text([], 3).startswith("clean: 0 violations in 3 files")
+
+    def test_json_schema_stable(self):
+        src = "import random\nx = random.random()\n"
+        violations = lint(src, rule_ids=["RS001"])
+        doc = json.loads(render_json(violations, files_checked=1))
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["files_checked"] == 1
+        assert doc["violation_count"] == 1
+        assert doc["counts_by_rule"] == {"RS001": 1}
+        entry = doc["violations"][0]
+        assert sorted(entry) == ["col", "line", "message", "path",
+                                 "rule_id", "rule_name"]
+        assert entry["path"] == SRC_PATH and entry["line"] == 2
+        assert entry["rule_id"] == "RS001"
+        assert entry["rule_name"] == "determinism"
+
+    def test_violations_sorted_deterministically(self):
+        src = ("import random\nimport time\n"
+               "b = time.time()\na = random.random()\n")
+        violations = lint(src, rule_ids=["RS001"])
+        assert [v.line for v in violations] == [3, 4]
+        assert violations_to_dict(violations, 1)["violation_count"] == 2
+
+
+# ---------------------------------------------------------------------------
+# config
+
+
+class TestConfig:
+    def test_pyproject_section_loaded(self):
+        config = load_config(start=REPO_ROOT)
+        assert config.source is not None
+        assert "net/clock.py" in config.determinism_allow
+        assert "obs/" in config.determinism_allow
+
+    def test_exclude_fragments(self, tmp_path):
+        (tmp_path / "keep.py").write_text("import random\nrandom.random()\n")
+        (tmp_path / "skip.py").write_text("import random\nrandom.random()\n")
+        config = Config(exclude=("skip.py",))
+        violations, files = lint_paths([tmp_path], config,
+                                       rule_ids=["RS001"])
+        assert files == 1
+        assert all("keep" in v.path for v in violations)
+
+    def test_unknown_config_key_rejected(self):
+        from repro.staticcheck.config import config_from_mapping
+        with pytest.raises(ValueError, match="unknown"):
+            config_from_mapping({"selct": ["RS001"]})
+
+    def test_rule_catalogue(self):
+        assert all_rule_ids() == ["RS001", "RS002", "RS003", "RS004",
+                                  "RS005", "RS100"]
+
+
+# ---------------------------------------------------------------------------
+# the meta-test: the reproduction's own source lints clean
+
+
+def test_self_lint_src_repro_is_clean():
+    config = load_config(start=REPO_ROOT)
+    violations, files = lint_paths([REPO_ROOT / "src" / "repro"], config)
+    assert files > 50
+    assert violations == [], "\n" + render_text(violations, files)
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+
+
+class TestCli:
+    def test_module_entry_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert lint_cli_run([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RS001" in out and f"{bad}:2:" in out
+
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert lint_cli_run([str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_module_entry_usage_errors(self, tmp_path, capsys):
+        assert lint_cli_run(["--select", "RS777", str(tmp_path)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+        assert lint_cli_run([str(tmp_path / "nope.py")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_select_and_ignore(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert lint_cli_run(["--select", "RS002", str(bad)]) == 0
+        capsys.readouterr()
+        assert lint_cli_run(["--ignore", "RS001", str(bad)]) == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert lint_cli_run(["--format", "json", str(bad)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == SCHEMA_VERSION
+
+    def test_repro_cli_lint_subcommand(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert cli_main(["lint", str(bad)]) == 1
+        assert "RS001" in capsys.readouterr().out
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert cli_main(["lint", str(good)]) == 0
+
+    def test_prom_flag(self, tmp_path, capsys):
+        prom = tmp_path / "m.prom"
+        prom.write_text(VALID_PROM)
+        assert cli_main(["lint", "--prom", str(prom)]) == 0
+        capsys.readouterr()
+        prom.write_text(INVALID_PROM)
+        assert cli_main(["lint", "--prom", str(prom)]) == 1
+        assert "RS100" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# the tools/ shims
+
+
+class TestToolShims:
+    def run_tool(self, script, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / script), *args],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+
+    def test_lint_prometheus_shim_ok(self, tmp_path):
+        prom = tmp_path / "m.prom"
+        prom.write_text(VALID_PROM)
+        proc = self.run_tool("lint_prometheus.py", str(prom))
+        assert proc.returncode == 0
+        assert proc.stdout.startswith("ok   ")
+        assert "1 metric families, 1 samples" in proc.stdout
+
+    def test_lint_prometheus_shim_failure(self, tmp_path):
+        prom = tmp_path / "m.prom"
+        prom.write_text(INVALID_PROM)
+        proc = self.run_tool("lint_prometheus.py", str(prom))
+        assert proc.returncode == 1
+        assert proc.stdout.startswith("FAIL ")
+
+    def test_lint_prometheus_shim_usage(self):
+        assert self.run_tool("lint_prometheus.py").returncode == 2
+
+    def test_run_mypy_wrapper_never_crashes(self):
+        # With mypy absent this exercises the graceful-skip path; with
+        # mypy present it must pass the strict profile.
+        proc = self.run_tool("run_mypy.py", "--strict-only")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# mypy strict profile (runs only where mypy is installed, e.g. CI)
+
+
+def test_mypy_strict_profile_passes():
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "-p", "repro.obs", "-p",
+         "repro.engine", "-p", "repro.staticcheck"],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

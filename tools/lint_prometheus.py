@@ -5,37 +5,38 @@ Usage::
 
     PYTHONPATH=src python tools/lint_prometheus.py metrics.prom [...]
 
-Runs the strict parser from :func:`repro.obs.export.parse_prometheus`
-over every file: each sample must belong to a declared ``# TYPE``
-family, histogram families must expose cumulative ``_bucket`` series
-ending in ``+Inf`` plus ``_sum``/``_count``, and all values must parse
-as numbers.  Exit status is non-zero when any file fails, so CI can gate
-on it.
+Thin shim over the framework rule RS100
+(:mod:`repro.staticcheck.rules.prom`): ``repro-ecs lint --prom FILE``
+runs the same check with full reporting.  Kept as a standalone script
+so the CI obs-smoke job (and muscle memory) keep working; output lines
+and exit codes are unchanged from the original standalone linter.
 """
 
 from __future__ import annotations
 
 import sys
 from pathlib import Path
+from typing import List
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.obs.export import parse_prometheus  # noqa: E402
+from repro.staticcheck.rules.prom import (check_prom_text,  # noqa: E402
+                                          lint_prom_file)
 
 
 def lint(path: Path) -> bool:
-    try:
-        families = parse_prometheus(path.read_text())
-    except (OSError, ValueError) as exc:
-        print(f"FAIL {path}: {exc}")
+    violations = lint_prom_file(path)
+    if violations:
+        for violation in violations:
+            print(f"FAIL {path}: {violation.message}")
         return False
-    samples = sum(len(info["samples"]) for info in families.values())
-    print(f"ok   {path}: {len(families)} metric families, "
+    families, samples = check_prom_text(path.read_text())
+    print(f"ok   {path}: {families} metric families, "
           f"{samples} samples")
     return True
 
 
-def main(argv: list) -> int:
+def main(argv: List[str]) -> int:
     if not argv:
         print(__doc__.strip().splitlines()[0])
         print("usage: lint_prometheus.py FILE [FILE ...]")

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Run the repo's two mypy profiles; skip gracefully when mypy is absent.
+
+Usage::
+
+    python tools/run_mypy.py [--strict-only]
+
+Profile 1 (strict): ``repro.obs``, ``repro.engine``, ``repro.staticcheck``
+— the invariant-bearing packages, checked with the strict flag set from
+``[[tool.mypy.overrides]]`` in pyproject.toml.
+
+Profile 2 (baseline): everything under ``repro`` — parse/import checked,
+type errors not yet enforced (``ignore_errors`` baseline).
+
+The container used for the tier-1 test run intentionally ships no
+third-party packages, so when mypy is not importable this wrapper prints
+a notice and exits 0 — static typing is enforced by the CI
+``static-analysis`` job, which installs mypy.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+#: Packages under the strict profile (keep in sync with pyproject.toml).
+STRICT_PACKAGES = ("repro.obs", "repro.engine", "repro.staticcheck")
+
+
+def have_mypy() -> bool:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run(args: list) -> int:
+    cmd = [sys.executable, "-m", "mypy", *args]
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.call(cmd)
+
+
+def main(argv: list) -> int:
+    if not have_mypy():
+        print("run_mypy: mypy is not installed in this environment; "
+              "skipping (CI static-analysis installs and enforces it)")
+        return 0
+    strict_args: list = []
+    for package in STRICT_PACKAGES:
+        strict_args.extend(["-p", package])
+    rc = run(strict_args)
+    if "--strict-only" in argv:
+        return rc
+    rc_baseline = run(["-p", "repro"])
+    return rc or rc_baseline
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
