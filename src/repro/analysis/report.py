@@ -73,6 +73,7 @@ def format_network_stats(stats, title: str = "Network traffic") -> str:
          ("bytes sent", stats.bytes_sent),
          ("timeouts", stats.timeouts),
          ("drops", stats.drops),
+         ("faults injected", getattr(stats, "faults_injected", 0)),
          ("timeout rate", f"{stats.timeout_rate():.2%}"),
          ("drop rate", f"{stats.drop_rate():.2%}")],
         title=title)

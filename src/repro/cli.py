@@ -14,6 +14,7 @@ blowup      the section 7 cache replays (Figures 1–3)
 pitfalls    the section 8 labs (Table 2, Figures 6–8)
 generate    write a synthetic dataset to a JSONL trace file
 replay      run the section 7 cache replay over a saved JSONL trace
+chaos       run the scan campaign under a fault-injection preset
 all         every analysis command, sequentially
 lint        run the repro.staticcheck invariant linter (RS001-RS100)
 
@@ -51,6 +52,8 @@ from .datasets.records import AllNamesRecord, CdnQueryRecord, PublicCdnRecord
 from .engine import DEFAULT_SHARDS, generate_dataset, generate_records
 from .engine.executor import EngineReport
 from .engine.replay import replay_sharded
+from .faults.chaos import run_chaos
+from .faults.presets import preset, preset_names
 from .measure import Scanner
 from .obs import observe, profile_call, write_prometheus, write_spans_jsonl
 
@@ -240,6 +243,21 @@ def cmd_replay(args: argparse.Namespace, reporter: _Reporter) -> None:
         title=f"Replay of {args.file}"))
 
 
+def cmd_chaos(args: argparse.Namespace, reporter: _Reporter) -> None:
+    """The scan campaign under a composed fault plan (repro.faults).
+
+    The plan binds its random streams from ``--fault-seed`` per shard,
+    so the rendered report is byte-identical for every ``--workers``
+    value — the CI chaos-smoke job diffs two runs to prove it.
+    """
+    plan = preset(args.preset)
+    result, engine_report = run_chaos(
+        plan, seed=args.seed, fault_seed=args.fault_seed,
+        ingress=args.ingress, shards=args.shards, workers=args.workers)
+    reporter.engine(engine_report)
+    reporter.emit("chaos", result.report())
+
+
 #: Analysis commands, in the order ``all`` runs them.
 _ANALYSIS_COMMANDS: Dict[str, Callable[[argparse.Namespace, _Reporter],
                                        None]] = {
@@ -254,6 +272,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace, _Reporter], None]] = {
     **_ANALYSIS_COMMANDS,
     "generate": cmd_generate,
     "replay": cmd_replay,
+    "chaos": cmd_chaos,
 }
 
 
@@ -340,6 +359,18 @@ def build_parser() -> argparse.ArgumentParser:
     replay_cmd.add_argument("dataset", choices=("allnames", "public-cdn"))
     replay_cmd.add_argument("file", help="input JSONL path")
     add_engine_flags(replay_cmd)
+
+    chaos = sub.add_parser(
+        "chaos", help="scan campaign under fault injection (repro.faults)")
+    chaos.add_argument("--preset", default="lossy", choices=preset_names(),
+                       help="named fault plan to install on the network")
+    chaos.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the fault plan's random streams "
+                            "(independent of --seed, which builds the "
+                            "universe)")
+    chaos.add_argument("--ingress", type=int, default=120,
+                       help="open ingress resolvers to probe")
+    add_engine_flags(chaos)
 
     lint = sub.add_parser(
         "lint", help="run the repro.staticcheck invariant linter")

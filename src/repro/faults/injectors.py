@@ -1,0 +1,366 @@
+"""Fault-injector specs: the vocabulary a :class:`~repro.faults.FaultPlan`
+composes.
+
+Each spec is a small frozen (hence picklable — chaos shards cross process
+boundaries) dataclass describing one fault source: Bernoulli packet loss,
+Gilbert–Elliott burst loss, latency jitter and spikes, forced truncation,
+error rcodes on ECS-bearing queries, ECS-stripping middleboxes, and
+scheduled outages.  ``spec.bind(rng)`` turns the description into a
+*bound* injector holding its own :class:`random.Random` stream; the plan
+derives one stream per injector from the engine's SHA-256 seeding, so the
+same plan + seed replays the same faults at any worker count.
+
+Bound injectors implement the :class:`~repro.net.transport.FaultInjector`
+hook pair and draw from their stream **only for datagrams matching their
+filter**, which keeps each injector's stream independent of unrelated
+traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Optional, Tuple
+
+from ..dnslib import Message, Rcode
+from ..net.transport import FaultAction
+
+#: Direction filters: faults can hit the query leg, the response leg, or both.
+QUERY = "query"
+RESPONSE = "response"
+BOTH = "both"
+
+
+def _matches(dst: Optional[str], dst_ip: str) -> bool:
+    return dst is None or dst == dst_ip
+
+
+class BoundInjector:
+    """Base bound injector: a no-op :class:`FaultInjector`.
+
+    Subclasses override one or both hooks; returning ``None`` means "no
+    fault for this datagram".
+    """
+
+    def on_query(self, src_ip: str, dst_ip: str, message: Message,
+                 tcp: bool, now: float) -> Optional[FaultAction]:
+        return None
+
+    def on_response(self, src_ip: str, dst_ip: str, response: Message,
+                    tcp: bool, now: float) -> Optional[FaultAction]:
+        return None
+
+
+# -- packet loss -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PacketLossSpec:
+    """Independent (Bernoulli) per-datagram loss on matching links."""
+
+    kind: ClassVar[str] = "loss"
+
+    rate: float
+    dst: Optional[str] = None
+    direction: str = BOTH
+
+    def bind(self, rng: random.Random) -> "_BoundLoss":
+        return _BoundLoss(self, rng)
+
+
+class _BoundLoss(BoundInjector):
+    def __init__(self, spec: PacketLossSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+
+    def _roll(self, dst_ip: str, direction: str) -> Optional[FaultAction]:
+        spec = self.spec
+        if not _matches(spec.dst, dst_ip):
+            return None
+        if spec.direction not in (direction, BOTH):
+            return None
+        if self.rng.random() < spec.rate:
+            return FaultAction(kind=spec.kind, drop=True)
+        return None
+
+    def on_query(self, src_ip: str, dst_ip: str, message: Message,
+                 tcp: bool, now: float) -> Optional[FaultAction]:
+        return self._roll(dst_ip, QUERY)
+
+    def on_response(self, src_ip: str, dst_ip: str, response: Message,
+                    tcp: bool, now: float) -> Optional[FaultAction]:
+        return self._roll(dst_ip, RESPONSE)
+
+
+@dataclass(frozen=True)
+class BurstLossSpec:
+    """Gilbert–Elliott two-state burst loss.
+
+    Each (src, dst) link carries its own good/burst Markov chain: every
+    matching datagram first advances the chain (``p_enter_burst`` /
+    ``p_exit_burst`` transition probabilities), then drops with the loss
+    rate of the state it landed in.  Models the correlated loss of a
+    congested or flapping path, which independent Bernoulli loss cannot.
+    """
+
+    kind: ClassVar[str] = "burst-loss"
+
+    p_enter_burst: float = 0.05
+    p_exit_burst: float = 0.25
+    loss_good: float = 0.0
+    loss_burst: float = 0.9
+    dst: Optional[str] = None
+    direction: str = BOTH
+
+    def bind(self, rng: random.Random) -> "_BoundBurstLoss":
+        return _BoundBurstLoss(self, rng)
+
+
+class _BoundBurstLoss(BoundInjector):
+    def __init__(self, spec: BurstLossSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+        self._burst: Dict[Tuple[str, str], bool] = {}
+
+    def _roll(self, src_ip: str, dst_ip: str,
+              direction: str) -> Optional[FaultAction]:
+        spec = self.spec
+        if not _matches(spec.dst, dst_ip):
+            return None
+        if spec.direction not in (direction, BOTH):
+            return None
+        link = (src_ip, dst_ip)
+        in_burst = self._burst.get(link, False)
+        if in_burst:
+            in_burst = not (self.rng.random() < spec.p_exit_burst)
+        else:
+            in_burst = self.rng.random() < spec.p_enter_burst
+        self._burst[link] = in_burst
+        rate = spec.loss_burst if in_burst else spec.loss_good
+        if rate and self.rng.random() < rate:
+            return FaultAction(kind=spec.kind, drop=True)
+        return None
+
+    def on_query(self, src_ip: str, dst_ip: str, message: Message,
+                 tcp: bool, now: float) -> Optional[FaultAction]:
+        return self._roll(src_ip, dst_ip, QUERY)
+
+    def on_response(self, src_ip: str, dst_ip: str, response: Message,
+                    tcp: bool, now: float) -> Optional[FaultAction]:
+        return self._roll(src_ip, dst_ip, RESPONSE)
+
+
+# -- latency ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LatencyJitterSpec:
+    """Uniform extra one-way latency in ``[0, max_extra_ms]`` per query.
+
+    Touches every matching query datagram (the fault counter therefore
+    counts matching traffic, not anomalies); applied to the forward leg,
+    so both directions of the round trip stretch.
+    """
+
+    kind: ClassVar[str] = "jitter"
+
+    max_extra_ms: float = 30.0
+    dst: Optional[str] = None
+
+    def bind(self, rng: random.Random) -> "_BoundJitter":
+        return _BoundJitter(self, rng)
+
+
+class _BoundJitter(BoundInjector):
+    def __init__(self, spec: LatencyJitterSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+
+    def on_query(self, src_ip: str, dst_ip: str, message: Message,
+                 tcp: bool, now: float) -> Optional[FaultAction]:
+        spec = self.spec
+        if not _matches(spec.dst, dst_ip):
+            return None
+        extra = self.rng.uniform(0.0, spec.max_extra_ms)
+        return FaultAction(kind=spec.kind, extra_one_way_ms=extra)
+
+
+@dataclass(frozen=True)
+class LatencySpikeSpec:
+    """Occasional large latency spikes (bufferbloat, rerouting events)."""
+
+    kind: ClassVar[str] = "spike"
+
+    probability: float = 0.02
+    extra_ms: float = 500.0
+    dst: Optional[str] = None
+
+    def bind(self, rng: random.Random) -> "_BoundSpike":
+        return _BoundSpike(self, rng)
+
+
+class _BoundSpike(BoundInjector):
+    def __init__(self, spec: LatencySpikeSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+
+    def on_query(self, src_ip: str, dst_ip: str, message: Message,
+                 tcp: bool, now: float) -> Optional[FaultAction]:
+        spec = self.spec
+        if not _matches(spec.dst, dst_ip):
+            return None
+        if self.rng.random() < spec.probability:
+            return FaultAction(kind=spec.kind,
+                               extra_one_way_ms=spec.extra_ms)
+        return None
+
+
+# -- protocol mangling -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TruncationSpec:
+    """Force TC=1 on UDP responses so clients must fall back to TCP."""
+
+    kind: ClassVar[str] = "truncate"
+
+    probability: float = 0.1
+    dst: Optional[str] = None
+
+    def bind(self, rng: random.Random) -> "_BoundTruncation":
+        return _BoundTruncation(self, rng)
+
+
+class _BoundTruncation(BoundInjector):
+    def __init__(self, spec: TruncationSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+
+    def on_response(self, src_ip: str, dst_ip: str, response: Message,
+                    tcp: bool, now: float) -> Optional[FaultAction]:
+        spec = self.spec
+        if tcp or response.truncated:
+            return None
+        if not _matches(spec.dst, dst_ip):
+            return None
+        if self.rng.random() < spec.probability:
+            return FaultAction(kind=spec.kind, truncate=True)
+        return None
+
+
+@dataclass(frozen=True)
+class RcodeFaultSpec:
+    """Answer matching queries with an error rcode, server never consulted.
+
+    With ``only_ecs`` (the default) the fault hits ECS-bearing queries
+    only — the RFC 7871 §7.1 scenario where an authoritative (or a
+    middlebox in front of it) chokes on the option and the client must
+    retry without ECS.
+    """
+
+    kind: ClassVar[str] = "rcode"
+
+    rcode: Rcode = Rcode.FORMERR
+    probability: float = 1.0
+    only_ecs: bool = True
+    dst: Optional[str] = None
+
+    def bind(self, rng: random.Random) -> "_BoundRcodeFault":
+        return _BoundRcodeFault(self, rng)
+
+
+class _BoundRcodeFault(BoundInjector):
+    def __init__(self, spec: RcodeFaultSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+        self._label = f"rcode-{spec.rcode.name.lower()}"
+
+    def on_query(self, src_ip: str, dst_ip: str, message: Message,
+                 tcp: bool, now: float) -> Optional[FaultAction]:
+        spec = self.spec
+        if not _matches(spec.dst, dst_ip):
+            return None
+        if spec.only_ecs and message.ecs() is None:
+            return None
+        if self.rng.random() < spec.probability:
+            return FaultAction(kind=self._label, rcode=spec.rcode)
+        return None
+
+
+@dataclass(frozen=True)
+class EcsStripSpec:
+    """A middlebox that silently removes the ECS option from queries.
+
+    The classic "home router drops unknown EDNS options" failure the
+    paper's scan methodology works around by probing without ECS.
+    """
+
+    kind: ClassVar[str] = "ecs-strip"
+
+    probability: float = 1.0
+    dst: Optional[str] = None
+
+    def bind(self, rng: random.Random) -> "_BoundEcsStrip":
+        return _BoundEcsStrip(self, rng)
+
+
+class _BoundEcsStrip(BoundInjector):
+    def __init__(self, spec: EcsStripSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+
+    def on_query(self, src_ip: str, dst_ip: str, message: Message,
+                 tcp: bool, now: float) -> Optional[FaultAction]:
+        spec = self.spec
+        if not _matches(spec.dst, dst_ip):
+            return None
+        if message.ecs() is None:
+            return None
+        if self.rng.random() < spec.probability:
+            stripped = message.copy()
+            stripped.set_ecs(None)
+            return FaultAction(kind=spec.kind, replace=stripped)
+        return None
+
+
+# -- outages ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OutageSpec:
+    """Scheduled blackout: drop everything to ``dst`` (or everywhere)
+    while the *virtual* clock is inside ``[start_s, end_s)``.
+
+    Purely time-driven — no randomness — so outages line up exactly
+    across reruns and worker counts.
+    """
+
+    kind: ClassVar[str] = "outage"
+
+    start_s: float
+    end_s: float
+    dst: Optional[str] = None
+
+    def bind(self, rng: random.Random) -> "_BoundOutage":
+        return _BoundOutage(self)
+
+
+class _BoundOutage(BoundInjector):
+    def __init__(self, spec: OutageSpec):
+        self.spec = spec
+
+    def _blackout(self, dst_ip: str, now: float) -> Optional[FaultAction]:
+        spec = self.spec
+        if not _matches(spec.dst, dst_ip):
+            return None
+        if spec.start_s <= now < spec.end_s:
+            return FaultAction(kind=spec.kind, drop=True)
+        return None
+
+    def on_query(self, src_ip: str, dst_ip: str, message: Message,
+                 tcp: bool, now: float) -> Optional[FaultAction]:
+        return self._blackout(dst_ip, now)
+
+    def on_response(self, src_ip: str, dst_ip: str, response: Message,
+                    tcp: bool, now: float) -> Optional[FaultAction]:
+        return self._blackout(dst_ip, now)

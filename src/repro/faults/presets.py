@@ -1,0 +1,61 @@
+"""Named chaos scenarios: ready-made fault plans for the CLI and tests.
+
+Each preset is a frozen :class:`~repro.faults.plan.FaultPlan`; being pure
+description, presets are shared safely — every run re-binds its own
+random streams from its fault seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..dnslib import Rcode
+from .injectors import (BurstLossSpec, EcsStripSpec, LatencyJitterSpec,
+                        LatencySpikeSpec, OutageSpec, PacketLossSpec,
+                        RcodeFaultSpec, TruncationSpec)
+from .plan import FaultPlan
+
+PRESETS: Dict[str, FaultPlan] = {
+    # Baseline: injector machinery on, zero faults — for differential runs.
+    "clean": FaultPlan("clean", ()),
+    # Independent 15% loss everywhere: the retry/backoff workhorse.
+    "lossy": FaultPlan("lossy", (PacketLossSpec(rate=0.15),)),
+    # The graceful-degradation ceiling the test layer certifies.
+    "heavy-loss": FaultPlan("heavy-loss", (PacketLossSpec(rate=0.30),)),
+    # Correlated loss: Gilbert-Elliott bursts, like a flapping path.
+    "bursty": FaultPlan("bursty", (BurstLossSpec(),)),
+    # Stretchy RTTs plus occasional half-second spikes.
+    "jittery": FaultPlan("jittery", (
+        LatencyJitterSpec(max_extra_ms=40.0),
+        LatencySpikeSpec(probability=0.05, extra_ms=400.0))),
+    # Authoritatives that choke on ECS (RFC 7871 section 7.1) over a
+    # mildly lossy floor: exercises the no-ECS downgrade rung.
+    "flaky-auth": FaultPlan("flaky-auth", (
+        RcodeFaultSpec(rcode=Rcode.FORMERR, probability=0.25,
+                       only_ecs=True),
+        PacketLossSpec(rate=0.05))),
+    # Middleboxes stripping ECS plus occasional REFUSED on ECS queries.
+    "ecs-hostile": FaultPlan("ecs-hostile", (
+        EcsStripSpec(probability=0.5),
+        RcodeFaultSpec(rcode=Rcode.REFUSED, probability=0.1,
+                       only_ecs=True))),
+    # Forced TC=1 on UDP answers: drives the TCP fallback path hard.
+    "truncating": FaultPlan("truncating", (TruncationSpec(probability=0.3),)),
+    # A scheduled blackout window early in the (virtual) campaign.
+    "outage": FaultPlan("outage", (OutageSpec(start_s=2.0, end_s=20.0),)),
+}
+
+
+def preset(name: str) -> FaultPlan:
+    """Look up a preset; raises with the known names on a typo."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(
+            f"unknown chaos preset {name!r}; known presets: {known}"
+        ) from None
+
+
+def preset_names() -> List[str]:
+    return sorted(PRESETS)

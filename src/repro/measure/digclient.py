@@ -8,11 +8,17 @@ does with ``dig`` in section 8.1 (Table 2) and with its scanning scripts.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Union
 
 from ..dnslib import EcsOption, Message, Name, Rcode, RecordType
-from ..net.transport import Network, QueryOutcome
+from ..faults.retry import RetryPolicy, execute_with_retries
+from ..net.transport import Network
+
+#: dig-like defaults: single attempt, automatic TCP retry on TC=1, no
+#: silent protocol downgrades — a FORMERR is *reported*, as dig does,
+#: so measurements see exactly what the server said.
+DEFAULT_STUB_POLICY = RetryPolicy()
 
 
 @dataclass
@@ -48,10 +54,16 @@ class DigResult:
 class StubClient:
     """An end host (or measurement box) issuing DNS queries."""
 
-    def __init__(self, ip: str, net: Network):
+    def __init__(self, ip: str, net: Network,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.ip = ip
         self.net = net
+        self.retry_policy = retry_policy or DEFAULT_STUB_POLICY
         self._msg_ids = itertools.count(1)
+        #: Cumulative ladder tallies across this client's queries.
+        self.attempts = 0
+        self.retries = 0
+        self.ecs_downgrades = 0
 
     def query(self, server_ip: str, qname: Union[str, Name],
               qtype: RecordType = RecordType.A,
@@ -62,23 +74,32 @@ class StubClient:
               retry_on_truncation: bool = True) -> DigResult:
         """Send one query and return the parsed result.
 
-        A TC=1 response is retried over TCP automatically (like dig),
-        unless ``retry_on_truncation`` is disabled.
+        The client's :class:`~repro.faults.retry.RetryPolicy` drives
+        timeouts, backoff and downgrades; a TC=1 response is retried
+        over TCP automatically (like dig) unless ``retry_on_truncation``
+        is disabled.  ``elapsed_ms`` sums every wire leg exactly once —
+        a truncated UDP exchange plus its TCP retry charge one UDP and
+        one TCP round trip.
         """
         name = Name.from_text(qname) if isinstance(qname, str) else qname
-        msg = Message.make_query(name, qtype,
-                                 msg_id=next(self._msg_ids) & 0xFFFF,
-                                 recursion_desired=recursion_desired,
-                                 use_edns=use_edns, ecs=ecs)
-        start = self.net.clock.now()
-        outcome: QueryOutcome = self.net.query(self.ip, server_ip, msg,
-                                               tcp=tcp)
-        if (retry_on_truncation and not tcp and outcome.response is not None
-                and outcome.response.truncated):
-            outcome = self.net.query(self.ip, server_ip, msg, tcp=True)
-            elapsed = (self.net.clock.now() - start) * 1000.0 \
-                if self.net.advance_clock else outcome.elapsed_ms
-            return DigResult(outcome.response, elapsed)
+        policy = self.retry_policy
+        if not retry_on_truncation and policy.tcp_on_truncation:
+            policy = replace(policy, tcp_on_truncation=False)
+
+        def make_query(edns_ok: bool, ecs_ok: bool) -> Message:
+            return Message.make_query(
+                name, qtype, msg_id=next(self._msg_ids) & 0xFFFF,
+                recursion_desired=recursion_desired,
+                use_edns=use_edns and edns_ok,
+                ecs=ecs if (ecs_ok and edns_ok) else None)
+
+        outcome = execute_with_retries(self.net, self.ip, (server_ip,),
+                                       make_query, policy, site="stub",
+                                       tcp=tcp)
+        self.attempts += outcome.attempts
+        self.retries += outcome.retries
+        if outcome.ecs_downgraded:
+            self.ecs_downgrades += 1
         return DigResult(outcome.response, outcome.elapsed_ms)
 
     def query_with_subnet(self, server_ip: str, qname: Union[str, Name],

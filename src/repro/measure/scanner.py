@@ -20,6 +20,7 @@ from ..auth.scan_experiment import encode_probe_name
 from ..datasets.records import ScanQueryRecord
 from ..datasets.scan_dataset import ScanUniverse
 from ..dnslib import Name, RecordType
+from ..faults.retry import RetryPolicy
 from .digclient import StubClient
 
 
@@ -50,9 +51,14 @@ class Scanner:
     """Drives the scan from a single vantage machine."""
 
     def __init__(self, universe: ScanUniverse,
-                 inter_query_gap_s: float = 1.0 / 25_000):
+                 inter_query_gap_s: float = 1.0 / 25_000,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.universe = universe
-        self.client = StubClient(universe.scanner_ip, universe.net)
+        # Default policy: one shot per ingress, like the paper's scan.
+        # Chaos mode passes a retrying policy so campaigns stay useful
+        # under injected loss.
+        self.client = StubClient(universe.scanner_ip, universe.net,
+                                 retry_policy=retry_policy)
         self.inter_query_gap_s = inter_query_gap_s
 
     def scan(self, ingress_ips: Optional[Sequence[str]] = None) -> ScanResult:

@@ -9,11 +9,13 @@ from .geo import (WORLD_CITIES, City, GeoDatabase, GeoPoint, cities_in, city,
                   haversine_km)
 from .latency import DEFAULT_LATENCY, LatencyModel
 from .topology import AutonomousSystem, Topology
-from .transport import Endpoint, Network, NetworkStats, QueryOutcome
+from .transport import (Endpoint, FaultAction, FaultInjector, Network,
+                        NetworkStats, QueryOutcome)
 
 __all__ = [
     "AddressAllocator", "AutonomousSystem", "City", "DEFAULT_LATENCY",
-    "Endpoint", "GeoDatabase", "GeoPoint", "LatencyModel", "Network",
+    "Endpoint", "FaultAction", "FaultInjector", "GeoDatabase", "GeoPoint",
+    "LatencyModel", "Network",
     "NetworkStats", "QueryOutcome", "SimClock", "Topology", "WORLD_CITIES",
     "address_width", "cities_in", "city", "haversine_km", "host_in",
     "is_routable", "parse_addr", "prefix_key", "prefix_key_int",

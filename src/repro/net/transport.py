@@ -8,7 +8,10 @@ the clock further — and the response propagates back.  The elapsed virtual
 time for a full recursive resolution therefore falls out naturally.
 
 Failure injection: per-destination drop rules let tests exercise timeout
-paths, and a byte-budget counter supports query-amplification analyses.
+paths, a byte-budget counter supports query-amplification analyses, and an
+installable :class:`FaultInjector` hook (see :mod:`repro.faults`) lets a
+composed fault plan drop, delay, truncate, rewrite, or error-answer any
+datagram deterministically.
 """
 
 from __future__ import annotations
@@ -17,7 +20,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Protocol
 
-from ..dnslib import Message, decode_message, encode_message
+from ..dnslib import Message, Rcode, decode_message, encode_message
+from ..engine.seeding import derive_seed
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs_trace
 from .topology import Topology
@@ -52,13 +56,58 @@ class QueryOutcome:
 
 
 @dataclass
+class FaultAction:
+    """What an installed injector wants done to one datagram.
+
+    ``kind`` names the injector for the fault counters.  The remaining
+    fields compose: extra latency applies before any drop/short-circuit,
+    ``replace`` substitutes the in-flight message (e.g. an ECS-stripping
+    middlebox), ``rcode`` answers the query with an error without ever
+    reaching the destination, and ``truncate`` forces TC=1 on a UDP
+    response so the client must fall back to TCP.
+    """
+
+    kind: str
+    drop: bool = False
+    extra_one_way_ms: float = 0.0
+    rcode: Optional[Rcode] = None
+    truncate: bool = False
+    replace: Optional[Message] = None
+
+
+class FaultInjector(Protocol):
+    """A fault plan bound to its random streams (see :mod:`repro.faults`).
+
+    Both hooks return ``None`` for "no fault"; the network applies any
+    returned :class:`FaultAction` and counts it.  ``now`` is the virtual
+    clock at the moment the datagram enters the fabric, so scheduled
+    outages key off simulation time, never wall time.
+    """
+
+    def on_query(self, src_ip: str, dst_ip: str, message: Message,
+                 tcp: bool, now: float) -> Optional[FaultAction]:
+        """Inspect a query datagram entering the fabric."""
+
+    def on_response(self, src_ip: str, dst_ip: str, response: Message,
+                    tcp: bool, now: float) -> Optional[FaultAction]:
+        """Inspect a response datagram on its way back to ``src_ip``."""
+
+
+@dataclass
 class NetworkStats:
-    """Counters for traffic crossing the fabric."""
+    """Counters for traffic crossing the fabric.
+
+    Merging follows the shard algebra of
+    :class:`~repro.analysis.cache_sim.ReplayPartial`: every field folds
+    by addition, so per-shard stats combine associatively, commutatively
+    and with an all-zero identity regardless of merge order.
+    """
 
     datagrams: int = 0
     bytes_sent: int = 0
     timeouts: int = 0
     drops: int = 0
+    faults_injected: int = 0
     per_destination: Dict[str, int] = field(default_factory=dict)
 
     def record(self, dst_ip: str, nbytes: int) -> None:
@@ -74,6 +123,26 @@ class NetworkStats:
         """Fraction of sent datagrams dropped in flight (0.0 when idle)."""
         return self.drops / self.datagrams if self.datagrams else 0.0
 
+    def fault_rate(self) -> float:
+        """Fraction of sent datagrams touched by the injector (0 idle)."""
+        return self.faults_injected / self.datagrams if self.datagrams else 0.0
+
+    def merge_from(self, other: "NetworkStats") -> "NetworkStats":
+        """Fold another shard's counters into this one (in place)."""
+        self.datagrams += other.datagrams
+        self.bytes_sent += other.bytes_sent
+        self.timeouts += other.timeouts
+        self.drops += other.drops
+        self.faults_injected += other.faults_injected
+        for dst, count in other.per_destination.items():
+            self.per_destination[dst] = \
+                self.per_destination.get(dst, 0) + count
+        return self
+
+    def merge(self, other: "NetworkStats") -> "NetworkStats":
+        """Pure merge: a new snapshot holding the combined counters."""
+        return NetworkStats().merge_from(self).merge_from(other)
+
 
 class Network:
     """The simulated datagram fabric."""
@@ -83,7 +152,8 @@ class Network:
 
     def __init__(self, topology: Optional[Topology] = None,
                  advance_clock: bool = True,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 seed: int = 0):
         self.topology = topology or Topology()
         self.clock = self.topology.clock
         self.advance_clock = advance_clock
@@ -91,9 +161,14 @@ class Network:
         self._endpoints: Dict[str, Endpoint] = {}
         self._loss: Dict[str, float] = {}
         self._filters: list[Callable[[str, str, bytes], bool]] = []
-        # The constant-0 fallback IS the experiment identity: a Network
-        # built without an explicit rng must behave identically run to run.
-        self._rng = rng or random.Random(0)  # repro-lint: disable=RS005
+        self._injector: Optional[FaultInjector] = None
+        # A Network built without an explicit rng still has a stable
+        # identity: its stream derives from ``seed`` through the same
+        # SHA-256 derivation every shard uses, so run-to-run and
+        # worker-count reproducibility hold by construction.
+        if rng is None:
+            rng = random.Random(derive_seed(seed, 0, "net.transport"))
+        self._rng = rng
 
     # -- registry ----------------------------------------------------------
 
@@ -117,11 +192,27 @@ class Network:
         """Install a drop filter ``(src, dst, wire) -> drop?``."""
         self._filters.append(predicate)
 
+    def install_injector(self, injector: Optional[FaultInjector]) -> None:
+        """Install (or, with ``None``, remove) the fault-injection hook.
+
+        The ad-hoc ``set_loss``/``add_filter`` rules stay functional as a
+        shim; a :mod:`repro.faults` plan is the structured replacement.
+        """
+        self._injector = injector
+
     def _dropped(self, src_ip: str, dst_ip: str, wire: bytes) -> bool:
         p = self._loss.get(dst_ip, 0.0)
         if p and self._rng.random() < p:
             return True
         return any(f(src_ip, dst_ip, wire) for f in self._filters)
+
+    def _note_fault(self, kind: str) -> None:
+        self.stats.faults_injected += 1
+        reg = _obs_metrics.ACTIVE
+        if reg is not None:
+            reg.counter("repro_faults_injected_total",
+                        "Fault-injector actions applied to datagrams.",
+                        ("kind",)).inc(1, kind)
 
     # -- the data path -------------------------------------------------------
 
@@ -152,6 +243,15 @@ class Network:
     def _transmit(self, src_ip: str, dst_ip: str, message: Message,
                   rng: Optional[random.Random], tcp: bool) -> QueryOutcome:
         start = self.clock.now()
+        injector = self._injector
+        action = None
+        if injector is not None:
+            action = injector.on_query(src_ip, dst_ip, message, tcp, start)
+            if action is not None:
+                self._note_fault(action.kind)
+                if action.replace is not None:
+                    # e.g. an ECS-stripping middlebox rewrote the query.
+                    message = action.replace
         wire = encode_message(message)
         self.stats.record(dst_ip, len(wire))
         transport = "tcp" if tcp else "udp"
@@ -164,9 +264,12 @@ class Network:
                         "Query bytes put on the wire.",
                         ("transport",)).inc(len(wire), transport)
         one_way_s = self.topology.rtt_ms(src_ip, dst_ip, rng) / 2.0 / 1000.0
+        if action is not None and action.extra_one_way_ms:
+            one_way_s += action.extra_one_way_ms / 1000.0
 
         endpoint = self._endpoints.get(dst_ip)
-        if endpoint is None or self._dropped(src_ip, dst_ip, wire):
+        if (action is not None and action.drop) or endpoint is None \
+                or self._dropped(src_ip, dst_ip, wire):
             if endpoint is None:
                 self.stats.timeouts += 1
                 outcome_label = "timeout"
@@ -180,27 +283,66 @@ class Network:
                                      self.TIMEOUT_MS)
             return QueryOutcome(None, self.TIMEOUT_MS, timed_out=True)
 
+        if action is not None and action.rcode is not None:
+            # A middlebox or broken server answers with an error rcode;
+            # the destination never sees the query, but a full round
+            # trip still elapses.
+            faulted = message.make_response()
+            faulted.rcode = action.rcode
+            if self.advance_clock:
+                if tcp:
+                    self.clock.advance(2 * one_way_s)  # TCP handshake
+                self.clock.advance(2 * one_way_s)
+            elapsed_ms = (self.clock.now() - start) * 1000.0 \
+                if self.advance_clock else one_way_s * 2000.0
+            if reg is not None:
+                self._record_outcome(reg, transport, "faulted", elapsed_ms)
+            return QueryOutcome(faulted, elapsed_ms)
+
         if self.advance_clock:
             if tcp:
                 self.clock.advance(2 * one_way_s)  # TCP handshake
             self.clock.advance(one_way_s)
         response_wire = endpoint.handle_datagram(wire, src_ip, self, tcp=tcp)
         if response_wire is None:
-            self.stats.drops += 1
-            if self.advance_clock:
-                # the timeout clock started when the query was sent
-                deadline = start + self.TIMEOUT_MS / 1000.0
-                self.clock.advance_to(deadline)
-            if reg is not None:
-                self._record_outcome(reg, transport, "drop", self.TIMEOUT_MS)
-            return QueryOutcome(None, self.TIMEOUT_MS, timed_out=True)
+            return self._response_lost(start, transport)
+        response = decode_message(response_wire)
+        if injector is not None:
+            r_action = injector.on_response(src_ip, dst_ip, response, tcp,
+                                            self.clock.now())
+            if r_action is not None:
+                self._note_fault(r_action.kind)
+                if r_action.drop:
+                    return self._response_lost(start, transport)
+                if r_action.extra_one_way_ms:
+                    one_way_s += r_action.extra_one_way_ms / 1000.0
+                if r_action.replace is not None:
+                    response = r_action.replace
+                if r_action.truncate and not tcp:
+                    # The response exceeded some middlebox's appetite:
+                    # deliver an empty TC=1 answer (RFC 1035 section
+                    # 4.2.1) so the client retries over TCP.
+                    response.truncated = True
+                    response.answers = []
         if self.advance_clock:
             self.clock.advance(one_way_s)
         elapsed_ms = (self.clock.now() - start) * 1000.0 if self.advance_clock \
             else one_way_s * 2000.0
         if reg is not None:
             self._record_outcome(reg, transport, "answered", elapsed_ms)
-        return QueryOutcome(decode_message(response_wire), elapsed_ms)
+        return QueryOutcome(response, elapsed_ms)
+
+    def _response_lost(self, start: float, transport: str) -> QueryOutcome:
+        """The response never made it back: charge the full timeout."""
+        self.stats.drops += 1
+        if self.advance_clock:
+            # the timeout clock started when the query was sent
+            deadline = start + self.TIMEOUT_MS / 1000.0
+            self.clock.advance_to(deadline)
+        reg = _obs_metrics.ACTIVE
+        if reg is not None:
+            self._record_outcome(reg, transport, "drop", self.TIMEOUT_MS)
+        return QueryOutcome(None, self.TIMEOUT_MS, timed_out=True)
 
     @staticmethod
     def _record_outcome(reg, transport: str, outcome: str,

@@ -19,9 +19,15 @@ import itertools
 from typing import List, Optional, Sequence
 
 from ..dnslib import Message, Rcode
+from ..faults.retry import RetryPolicy, execute_with_retries
 from ..net.transport import Network
 from ..obs import metrics as _obs_metrics
 from .base import DnsServer
+
+#: Forwarders are transparent: fail over between upstreams but never
+#: retry truncation (the client's own TCP fallback handles TC=1) and
+#: never rewrite the query's EDNS/ECS on errors.
+DEFAULT_FORWARDER_RETRY_POLICY = RetryPolicy(tcp_on_truncation=False)
 
 
 class Forwarder(DnsServer):
@@ -36,21 +42,22 @@ class Forwarder(DnsServer):
     span_name = "forward"
 
     def __init__(self, ip: str, upstreams: Sequence[str],
-                 strip_ecs: bool = False):
+                 strip_ecs: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None):
         super().__init__(ip, log_queries=False)
         if not upstreams:
             raise ValueError("a forwarder needs at least one upstream")
         self.upstreams = list(upstreams)
         self.strip_ecs = strip_ecs
+        self.retry_policy = retry_policy or DEFAULT_FORWARDER_RETRY_POLICY
         self._msg_ids = itertools.count(1)
         self.forwarded = 0
 
     def handle_query(self, query: Message, src_ip: str,
                      net: Network) -> Optional[Message]:
-        upstream_query = query.copy()
-        upstream_query.msg_id = next(self._msg_ids) & 0xFFFF
+        base = query.copy()
         if self.strip_ecs:
-            upstream_query.set_ecs(None)
+            base.set_ecs(None)
         self.forwarded += 1
         reg = _obs_metrics.ACTIVE
         if reg is not None:
@@ -58,12 +65,23 @@ class Forwarder(DnsServer):
                         "Queries passed upstream, by ECS handling.",
                         ("ecs_handling",)).inc(
                 1, "strip" if self.strip_ecs else "pass")
-        for upstream in self.upstreams:
-            outcome = net.query(self.ip, upstream, upstream_query)
-            if outcome.response is not None:
-                reply = outcome.response.copy()
-                reply.msg_id = query.msg_id
-                return reply
+
+        def make_query(edns_ok: bool, ecs_ok: bool) -> Message:
+            msg = base.copy()
+            msg.msg_id = next(self._msg_ids) & 0xFFFF
+            if not ecs_ok:
+                msg.set_ecs(None)
+            if not edns_ok:
+                msg.edns = None
+            return msg
+
+        result = execute_with_retries(net, self.ip, self.upstreams,
+                                      make_query, self.retry_policy,
+                                      site="forwarder")
+        if result.response is not None:
+            reply = result.response.copy()
+            reply.msg_id = query.msg_id
+            return reply
         failed = query.make_response()
         failed.rcode = Rcode.SERVFAIL
         return failed

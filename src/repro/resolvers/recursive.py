@@ -20,6 +20,7 @@ from ..core.policies import (EcsDecision, EcsPolicy, ProbingEngine,
                              ProbingStrategy, ScopeHandling, build_query_ecs)
 from ..dnslib import (EcsOption, Message, Name, Rcode, RecordType,
                       ResolutionError)
+from ..faults.retry import RetryPolicy, execute_with_retries
 from ..net.clock import SimClock
 from ..net.transport import Network
 from ..obs import metrics as _obs_metrics
@@ -28,6 +29,14 @@ from .base import DnsServer
 
 _MAX_REFERRALS = 20
 _MAX_CNAME_CHASE = 8
+
+#: Production-resolver posture: retry truncation over TCP, downgrade to
+#: no-ECS on FORMERR (RFC 7871 section 7.1) and then to plain DNS for
+#: pre-EDNS0 servers (RFC 6891 section 7); failover is handled by the
+#: iterative loop's own nameserver ordering.
+DEFAULT_RESOLVER_RETRY_POLICY = RetryPolicy(
+    retry_without_ecs_on_formerr=True,
+    retry_without_edns_on_formerr=True)
 
 _SCOPE_MODE_FOR = {
     ScopeHandling.HONOR: ScopeMode.HONOR,
@@ -44,11 +53,13 @@ class RecursiveResolver(DnsServer):
     def __init__(self, ip: str, clock: SimClock, root_hints: Sequence[str],
                  policy: Optional[EcsPolicy] = None,
                  allowed_clients: Optional[Set[str]] = None,
-                 trusted_ecs_senders: Optional[FrozenSet[str]] = None):
+                 trusted_ecs_senders: Optional[FrozenSet[str]] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         super().__init__(ip, log_queries=False)
         self.clock = clock
         self.root_hints = list(root_hints)
         self.policy = policy or EcsPolicy()
+        self.retry_policy = retry_policy or DEFAULT_RESOLVER_RETRY_POLICY
         self.probing = ProbingEngine(self.policy)
         self.cache = EcsCache(
             clock,
@@ -260,53 +271,56 @@ class RecursiveResolver(DnsServer):
                                   source_limit=self.probing
                                   .adapted_source_limit(ns_ip))
         use_edns = ns_ip not in self._no_edns_servers
-        query = Message.make_query(qname, qtype,
-                                   msg_id=next(self._msg_ids) & 0xFFFF,
-                                   recursion_desired=False,
-                                   use_edns=use_edns,
-                                   ecs=ecs_opt if use_edns else None)
-        self.upstream_queries += 1
         reg = _obs_metrics.ACTIVE
         if reg is not None:
             reg.counter("repro_resolver_upstream_queries_total",
                         "Probes sent upstream, by ECS decision.",
                         ("ecs",)).inc(
-                1, "sent" if ecs_opt is not None else "none")
-        outcome = net.query(self.ip, ns_ip, query)
-        if outcome.response is None:
+                1, "sent" if (ecs_opt is not None and use_edns) else "none")
+
+        def make_query(edns_ok: bool, ecs_ok: bool) -> Message:
+            q_edns = use_edns and edns_ok
+            return Message.make_query(qname, qtype,
+                                      msg_id=next(self._msg_ids) & 0xFFFF,
+                                      recursion_desired=False,
+                                      use_edns=q_edns,
+                                      ecs=ecs_opt if (q_edns and ecs_ok)
+                                      else None)
+
+        def on_retry(reason: str, server_ip: str) -> None:
+            if reason != "truncation":
+                return
+            reg2 = _obs_metrics.ACTIVE
+            if reg2 is not None:
+                reg2.counter("repro_resolver_tcp_fallback_total",
+                             "Truncated answers retried over TCP.").inc()
+            tracer = _obs_trace.ACTIVE
+            if tracer is not None:
+                tracer.event("tcp_fallback", resolver=self.ip,
+                             ns=server_ip, qname=qname.to_text())
+
+        def on_downgrade(kind: str, server_ip: str) -> None:
+            if kind == "edns":
+                # Pre-EDNS0 server: remember so future queries go plain.
+                self._no_edns_servers.add(server_ip)
+
+        result = execute_with_retries(net, self.ip, (ns_ip,), make_query,
+                                      self.retry_policy, site="resolver",
+                                      on_retry=on_retry,
+                                      on_downgrade=on_downgrade)
+        self.upstream_queries += result.attempts
+        if result.response is None:
             # Penalize unresponsive servers heavily in selection.
             self._note_rtt(ns_ip, net.TIMEOUT_MS)
             return None, ecs_opt
-        self._note_rtt(ns_ip, outcome.elapsed_ms)
-        response = outcome.response
-        if response.truncated:
-            # TC=1: retry the identical question over TCP (RFC 1035).
-            self.upstream_queries += 1
-            if reg is not None:
-                reg.counter("repro_resolver_tcp_fallback_total",
-                            "Truncated answers retried over TCP.").inc()
-            tracer = _obs_trace.ACTIVE
-            if tracer is not None:
-                tracer.event("tcp_fallback", resolver=self.ip, ns=ns_ip,
-                             qname=qname.to_text())
-            outcome = net.query(self.ip, ns_ip, query, tcp=True)
-            if outcome.response is None:
-                return None, ecs_opt
-            response = outcome.response
-        if response.rcode == Rcode.FORMERR and use_edns:
-            # Pre-EDNS0 server: retry once without EDNS and remember.
-            self._no_edns_servers.add(ns_ip)
-            retry = Message.make_query(qname, qtype,
-                                       msg_id=next(self._msg_ids) & 0xFFFF,
-                                       recursion_desired=False,
-                                       use_edns=False)
-            self.upstream_queries += 1
-            outcome = net.query(self.ip, ns_ip, retry)
-            return outcome.response, None
-
-        resp_ecs = response.ecs()
-        if ecs_opt is not None:
-            valid = resp_ecs is not None and resp_ecs.matches_query(ecs_opt)
+        self._note_rtt(ns_ip, result.elapsed_ms)
+        response = result.response
+        # The ECS actually on the final query (None after a section 7.1
+        # downgrade) is what validation and the cache must key on.
+        sent_ecs = result.query_ecs
+        if sent_ecs is not None:
+            resp_ecs = response.ecs()
+            valid = resp_ecs is not None and resp_ecs.matches_query(sent_ecs)
             self.probing.note_response(
                 ns_ip, valid,
                 scope=resp_ecs.scope_prefix_length if valid else None)
@@ -320,4 +334,4 @@ class RecursiveResolver(DnsServer):
                 # RFC 7871 section 7.3: a mismatched ECS response option
                 # must be ignored entirely.
                 response.set_ecs(None)
-        return response, ecs_opt
+        return response, sent_ecs

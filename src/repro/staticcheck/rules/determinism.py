@@ -14,10 +14,13 @@ statically:
 - builtin ``hash()`` is salted per process (PYTHONHASHSEED), and
   iterating a set directly exposes that salt as an ordering.
 
-RS005 closes the remaining hole: constructing ``random.Random`` with no
-argument seeds from OS entropy, and a hard-coded constant seed outside
-tests silently decouples a stream from the experiment's root seed (it
-should flow from a parameter or :mod:`repro.engine.seeding`).
+RS005 closes the remaining holes: constructing ``random.Random`` with no
+argument seeds from OS entropy, a hard-coded constant seed outside tests
+silently decouples a stream from the experiment's root seed (it should
+flow from a parameter or :mod:`repro.engine.seeding`), and reseeding a
+generator in place (``rng.seed(...)``) rebases a stream someone else
+derived — the fault-injection layer hands each injector a private
+derived stream precisely so nothing ever needs to reseed.
 """
 
 from __future__ import annotations
@@ -171,6 +174,15 @@ class SeededRngRule(AstRule):
             if not isinstance(node, ast.Call):
                 continue
             canonical = imports.canonical(node.func)
+            if (canonical is None and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "seed"):
+                # rng.seed(...) — module-level random.seed() is RS001's.
+                ctx.report(self, node,
+                           "reseeding a generator in place detaches its "
+                           "stream from the seed it was derived with; "
+                           "construct a fresh random.Random seeded via "
+                           "repro.engine.seeding instead")
+                continue
             if canonical not in ("random.Random", "random.SystemRandom"):
                 continue
             if canonical == "random.SystemRandom":

@@ -23,6 +23,9 @@ from repro.datasets import (AllNamesBuilder, merge_jsonl_shards,
 from repro.engine.generate import generate_records
 from repro.engine.replay import _replay_shard
 from repro.engine.sharding import partition_by_key
+from repro.faults import preset
+from repro.faults.chaos import CHAOS_RETRY_POLICY, ChaosPartial, _chaos_shard
+from repro.net.transport import NetworkStats
 
 
 def _random_partial(rng: random.Random) -> ReplayPartial:
@@ -95,6 +98,95 @@ class TestShardOrderIndependence:
                      if i + 1 < len(level) else level[i]
                      for i in range(0, len(level), 2)]
         assert level[0].result() == merge_partials(shard_partials)
+
+
+def _random_network_stats(rng: random.Random) -> NetworkStats:
+    return NetworkStats(
+        datagrams=rng.randrange(0, 1000),
+        bytes_sent=rng.randrange(0, 100_000),
+        timeouts=rng.randrange(0, 100),
+        drops=rng.randrange(0, 100),
+        faults_injected=rng.randrange(0, 100),
+        per_destination={f"10.0.0.{i}": rng.randrange(1, 50)
+                         for i in range(rng.randrange(0, 4))})
+
+
+def _random_chaos_partial(rng: random.Random) -> ChaosPartial:
+    kinds = rng.sample(("loss", "burst-loss", "jitter", "truncate"),
+                       rng.randrange(0, 4))
+    return ChaosPartial(
+        *(rng.randrange(0, 500) for _ in range(8)),
+        faults_by_kind={kind: rng.randrange(1, 50) for kind in kinds},
+        network=_random_network_stats(rng))
+
+
+class TestNetworkStatsAlgebra:
+    """NetworkStats folds like every other shard partial — including the
+    fault counter and the per-destination histogram."""
+
+    def test_identity(self):
+        rng = random.Random(21)
+        stats = _random_network_stats(rng)
+        empty = NetworkStats()
+        assert stats.merge(empty) == stats
+        assert empty.merge(stats) == stats
+
+    def test_associative_and_commutative(self):
+        rng = random.Random(22)
+        for _ in range(50):
+            a, b, c = (_random_network_stats(rng) for _ in range(3))
+            assert a.merge(b).merge(c) == a.merge(b.merge(c))
+            assert a.merge(b) == b.merge(a)
+
+    def test_pure_merge_leaves_operands_alone(self):
+        rng = random.Random(23)
+        a, b = (_random_network_stats(rng) for _ in range(2))
+        before = (NetworkStats().merge_from(a), NetworkStats().merge_from(b))
+        a.merge(b)
+        assert (a, b) == before
+
+    def test_rates_survive_merging(self):
+        a = NetworkStats(datagrams=100, faults_injected=10, drops=5)
+        b = NetworkStats(datagrams=300, faults_injected=30, drops=15)
+        merged = a.merge(b)
+        assert merged.fault_rate() == pytest.approx(0.1)
+        assert merged.drop_rate() == pytest.approx(0.05)
+
+
+class TestChaosPartialAlgebra:
+    def test_identity(self):
+        rng = random.Random(31)
+        partial = _random_chaos_partial(rng)
+        empty = ChaosPartial()
+        assert partial.merge(empty) == partial
+        assert empty.merge(partial) == partial
+
+    def test_associative_and_commutative(self):
+        rng = random.Random(32)
+        for _ in range(50):
+            a, b, c = (_random_chaos_partial(rng) for _ in range(3))
+            assert a.merge(b).merge(c) == a.merge(b.merge(c))
+            assert a.merge(b) == b.merge(a)
+
+    def test_real_faulted_shards_merge_order_free(self):
+        # Behavioral check: partials produced by actual chaos shards
+        # (faults, retries and all) fold to the same totals in any order.
+        partials = [_chaos_shard(preset("lossy"), CHAOS_RETRY_POLICY,
+                                 seed=2, fault_seed=9, shard_index=i,
+                                 ingress_count=4)
+                    for i in range(3)]
+        baseline = ChaosPartial()
+        for partial in partials:
+            baseline = baseline.merge(partial)
+        rng = random.Random(33)
+        for _ in range(5):
+            shuffled = list(partials)
+            rng.shuffle(shuffled)
+            merged = ChaosPartial()
+            for partial in shuffled:
+                merged = merged.merge(partial)
+            assert merged == baseline
+            assert merged.network == baseline.network
 
 
 @dataclass

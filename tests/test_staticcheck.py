@@ -345,6 +345,34 @@ class TestSeededRngRule:
         src = "import random\nr = random.Random(0)\n"
         assert lint(src, path="tests/test_x.py", rule_ids=["RS005"]) == []
 
+    def test_reseeding_in_place_flagged(self):
+        src = ("def f(rng, n):\n"
+               "    rng.seed(n)\n"
+               "    return rng.random()\n")
+        violations = lint(src, rule_ids=["RS005"])
+        assert ids_of(violations) == ["RS005"]
+        assert "reseeding" in violations[0].message
+
+    def test_module_level_reseed_not_double_reported(self):
+        # random.seed() is RS001's ambient-stream violation; RS005 must
+        # not pile a second finding on the same call.
+        src = "import random\nrandom.seed(3)\n"
+        assert lint(src, rule_ids=["RS005"]) == []
+        assert ids_of(lint(src, rule_ids=["RS001"])) == ["RS001"]
+
+    def test_reseeding_exempt_in_tests(self):
+        src = "def f(rng):\n    rng.seed(1)\n"
+        assert lint(src, path="tests/test_x.py", rule_ids=["RS005"]) == []
+
+    def test_seed_attribute_access_ok(self):
+        # Reading/storing a .seed attribute is plumbing, not reseeding.
+        src = ("class Builder:\n"
+               "    def __init__(self, seed):\n"
+               "        self.seed = seed\n"
+               "    def derived(self):\n"
+               "        return self.seed + 1\n")
+        assert lint(src, rule_ids=["RS005"]) == []
+
 
 # ---------------------------------------------------------------------------
 # RS100 — Prometheus exposition (file rule)
