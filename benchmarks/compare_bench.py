@@ -4,6 +4,7 @@
 Usage::
 
     python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.25]
+    python benchmarks/compare_bench.py NEW.json --check-speedup
 
 Both files are the ``name -> {metric: value}`` shape the bench fixtures
 write (``BENCH_engine.json``, ``BENCH_hotpath.json``).  Every numeric
@@ -12,12 +13,23 @@ throughput metric — a key named ``records_per_second`` or ending in
 ``threshold`` (default 25%) is a regression and the exit status is 1.
 Benchmarks present in only one file are reported but never fail the run,
 so adding or retiring benchmarks does not break CI.
+
+``--check-speedup`` additionally gates the *candidate* file's parallel
+scaling: every ``<base>_workersN`` sample (N > 1) with a
+``<base>_workers1`` sibling must clear ``N-worker rps / 1-worker rps >=
+--min-speedup`` (default 1.5).  The gate is CPU-aware: a sample recorded
+on a host with fewer than ``--speedup-cpus`` cores (the ``cpu_count``
+field the engine bench writes) cannot physically demonstrate parallel
+speedup, so it is held only to ``--low-cpu-floor`` — a no-pessimization
+bound that still catches the ship-everything-through-pickle failure mode
+(which measured ~0.2x) without pretending a 1-core container can scale.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 from typing import Dict, List, Tuple
@@ -76,28 +88,131 @@ def compare(old: Dict, new: Dict,
     return lines, regressions
 
 
+#: ``<base>_workersN`` sample names, as the engine bench writes them.
+WORKERS_RE = re.compile(r"^(?P<base>.+)_workers(?P<n>\d+)$")
+
+#: Default parallel-speedup requirements (see ``check_speedup``).
+MIN_SPEEDUP = 1.5
+LOW_CPU_FLOOR = 0.15
+SPEEDUP_CPUS = 4
+
+
+def worker_families(doc: Dict) -> Dict[str, Dict[int, Dict]]:
+    """Group ``<base>_workersN`` samples: ``base -> {N: sample}``."""
+    families: Dict[str, Dict[int, Dict]] = {}
+    for bench, metrics in doc.items():
+        match = WORKERS_RE.match(bench)
+        if match is None or not isinstance(metrics, dict):
+            continue
+        families.setdefault(match.group("base"), {})[
+            int(match.group("n"))] = metrics
+    return families
+
+
+def check_speedup(doc: Dict, min_speedup: float = MIN_SPEEDUP,
+                  low_cpu_floor: float = LOW_CPU_FLOOR,
+                  speedup_cpus: int = SPEEDUP_CPUS
+                  ) -> Tuple[List[str], List[str]]:
+    """Gate every N-vs-1 worker pair in one bench document.
+
+    Returns ``(report_lines, failures)``.  A pair is held to
+    ``min_speedup`` when its sample records ``cpu_count >= speedup_cpus``
+    and to ``low_cpu_floor`` otherwise — a host that cannot run N shards
+    concurrently can only prove the absence of a dispatch pessimization,
+    not the presence of scaling.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    for base, by_workers in sorted(worker_families(doc).items()):
+        baseline = by_workers.get(1, {}).get("records_per_second")
+        if not baseline:
+            continue
+        for n in sorted(by_workers):
+            if n == 1:
+                continue
+            sample = by_workers[n]
+            rps = sample.get("records_per_second")
+            if not isinstance(rps, (int, float)):
+                continue
+            cpus = sample.get("cpu_count", 0)
+            constrained = cpus < speedup_cpus
+            required = low_cpu_floor if constrained else min_speedup
+            ratio = float(rps) / float(baseline)
+            note = (f"cpu_count={cpus} < {speedup_cpus}: "
+                    f"no-pessimization floor" if constrained
+                    else f"cpu_count={cpus}")
+            entry = (f"{base}: workers{n}/workers1 = {ratio:.2f}x "
+                     f"(required >= {required:.2f}x; {note})")
+            if ratio < required:
+                failures.append(entry)
+                lines.append(f"  FAIL     {entry}")
+            else:
+                lines.append(f"  ok       {entry}")
+    return lines, failures
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("old", type=Path, help="baseline BENCH_*.json")
-    parser.add_argument("new", type=Path, help="candidate BENCH_*.json")
+    parser.add_argument("old", type=Path, help="baseline BENCH_*.json "
+                        "(or the sole file with --check-speedup)")
+    parser.add_argument("new", type=Path, nargs="?", default=None,
+                        help="candidate BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max allowed fractional drop (default 0.25)")
+    parser.add_argument("--check-speedup", action="store_true",
+                        help="also gate <base>_workersN/_workers1 ratios "
+                        "in the candidate (or sole) file")
+    parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP,
+                        help=f"required N-vs-1 speedup on hosts with "
+                        f">= --speedup-cpus cores (default {MIN_SPEEDUP})")
+    parser.add_argument("--low-cpu-floor", type=float,
+                        default=LOW_CPU_FLOOR,
+                        help=f"required ratio on CPU-starved hosts "
+                        f"(default {LOW_CPU_FLOOR})")
+    parser.add_argument("--speedup-cpus", type=int, default=SPEEDUP_CPUS,
+                        help=f"cores needed before the full speedup gate "
+                        f"applies (default {SPEEDUP_CPUS})")
     args = parser.parse_args(argv)
 
-    old = json.loads(args.old.read_text())
-    new = json.loads(args.new.read_text())
-    lines, regressions = compare(old, new, args.threshold)
-    print(f"comparing {args.old} -> {args.new} "
-          f"(threshold -{args.threshold:.0%})")
-    for line in lines:
-        print(line)
-    if regressions:
-        print(f"\n{len(regressions)} throughput regression(s):")
-        for entry in regressions:
-            print(f"  {entry}")
-        return 1
-    print("\nno throughput regressions")
-    return 0
+    failed = False
+    candidate_path = args.new if args.new is not None else args.old
+    if args.new is not None:
+        old = json.loads(args.old.read_text())
+        new = json.loads(args.new.read_text())
+        lines, regressions = compare(old, new, args.threshold)
+        print(f"comparing {args.old} -> {args.new} "
+              f"(threshold -{args.threshold:.0%})")
+        for line in lines:
+            print(line)
+        if regressions:
+            print(f"\n{len(regressions)} throughput regression(s):")
+            for entry in regressions:
+                print(f"  {entry}")
+            failed = True
+        else:
+            print("\nno throughput regressions")
+    elif not args.check_speedup:
+        parser.error("a candidate file or --check-speedup is required")
+
+    if args.check_speedup:
+        candidate = json.loads(Path(candidate_path).read_text())
+        lines, failures = check_speedup(candidate, args.min_speedup,
+                                        args.low_cpu_floor,
+                                        args.speedup_cpus)
+        print(f"speedup gate on {candidate_path} "
+              f"(>= {args.min_speedup:.2f}x at {args.speedup_cpus}+ CPUs, "
+              f">= {args.low_cpu_floor:.2f}x below)")
+        for line in lines:
+            print(line)
+        if failures:
+            print(f"\n{len(failures)} speedup gate failure(s)")
+            failed = True
+        elif lines:
+            print("\nspeedup gate passed")
+        else:
+            print("\nno workersN/workers1 pairs found")
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -20,10 +20,13 @@ lint        run the repro.staticcheck invariant linter (RS001-RS100)
 
 Every command accepts ``--seed`` and a size knob and writes rendered
 reports to ``--out`` (default: print to stdout only); ``--quiet``
-silences stdout.  ``generate``, ``blowup``, ``replay`` and ``all`` also
-take ``--workers N`` / ``--shards K``: work is split into K
-deterministically-seeded shards executed on N processes, and the merged
-output is byte-identical for every N (see ``docs/engine.md``).
+silences stdout.  ``generate``, ``blowup``, ``replay``, ``chaos`` and
+``all`` also take ``--workers N`` / ``--shards K`` plus the execution
+knobs ``--pool persistent|spawn-per-batch`` and ``--chunk-size C``:
+work is split into K deterministically-seeded shards executed on N
+processes via compact shard specs, and the merged output is
+byte-identical for every (N, pool, C) combination (see
+``docs/engine.md``).
 """
 
 from __future__ import annotations
@@ -44,14 +47,13 @@ from .analysis.mapping_quality import (MappingQualityLab,
                                        crossover_prefix_length,
                                        measure_mapping_quality)
 from .analysis.unroutable import UnroutableLab
-from .datasets import (AllNamesBuilder, CdnDatasetBuilder, PublicCdnBuilder,
-                       ScanUniverseBuilder, merge_jsonl_shards, read_jsonl,
-                       write_jsonl_shards)
+from .datasets import CdnDatasetBuilder, ScanUniverseBuilder
 from .datasets.ditl import generate_root_trace
-from .datasets.records import AllNamesRecord, CdnQueryRecord, PublicCdnRecord
-from .engine import DEFAULT_SHARDS, generate_dataset, generate_records
+from .engine import (DEFAULT_SHARDS, POOL_MODES, ShardSpec, WorkerPool,
+                     generate_dataset_spec, generate_jsonl)
+from .engine import pool as engine_pool
 from .engine.executor import EngineReport
-from .engine.replay import replay_sharded
+from .engine.replay import replay_jsonl_sharded
 from .faults.chaos import run_chaos
 from .faults.presets import preset, preset_names
 from .measure import Scanner
@@ -144,19 +146,21 @@ def cmd_caching(args: argparse.Namespace, reporter: _Reporter) -> None:
 
 def cmd_blowup(args: argparse.Namespace, reporter: _Reporter) -> None:
     """The section 7 cache replays: Figures 1, 2 and 3."""
-    builder = PublicCdnBuilder(scale=args.scale, seed=args.seed,
-                               duration_s=args.hours * 3600.0)
-    public_cdn, engine_report = generate_dataset(builder, shards=args.shards,
-                                                 workers=args.workers)
+    spec = ShardSpec.create("public-cdn", shard_count=args.shards,
+                            scale=args.scale, seed=args.seed,
+                            duration_s=args.hours * 3600.0)
+    public_cdn, engine_report = generate_dataset_spec(
+        spec, workers=args.workers, chunk_size=args.chunk_size)
     reporter.engine(engine_report)
     series = fig1_series(public_cdn, ttls=(20, 40, 60))
     reporter.emit("fig1", cdf_table(
         {f"TTL {t}s": v for t, v in series.items()},
         title="Figure 1 — cache blow-up factor CDF"))
 
-    allnames, engine_report = generate_dataset(
-        AllNamesBuilder(scale=args.allnames_scale, seed=args.seed),
-        shards=args.shards, workers=args.workers)
+    allnames, engine_report = generate_dataset_spec(
+        ShardSpec.create("allnames", shard_count=args.shards,
+                         scale=args.allnames_scale, seed=args.seed),
+        workers=args.workers, chunk_size=args.chunk_size)
     reporter.engine(engine_report)
     fractions = (0.1, 0.25, 0.5, 0.75, 1.0)
     f2 = fig2_series(allnames, fractions=fractions, seeds=(1, 2))
@@ -192,27 +196,23 @@ def cmd_pitfalls(args: argparse.Namespace, reporter: _Reporter) -> None:
 def cmd_generate(args: argparse.Namespace, reporter: _Reporter) -> None:
     """Write one synthetic dataset to a JSONL trace file.
 
-    Generation is sharded through :mod:`repro.engine`: each shard's
-    records land in a ``<file>.shardNN`` sibling, then an order-stable
-    merge produces the final trace and removes the shard files.  The
-    merged bytes are identical for any ``--workers`` value.
+    Generation is sharded through :mod:`repro.engine` by spec dispatch:
+    workers rebuild the dataset builder from a compact
+    :class:`~repro.engine.sharding.ShardSpec` and write their own
+    ``<file>.shardNN`` siblings, then an order-stable merge produces the
+    final trace and removes the shard files.  No record payloads cross
+    the pool boundary, and the merged bytes are identical for any
+    ``--workers`` / ``--pool`` / ``--chunk-size`` value.
     """
     if args.dataset == "allnames":
-        builder = AllNamesBuilder(scale=args.scale, seed=args.seed)
-    elif args.dataset == "public-cdn":
-        builder = PublicCdnBuilder(scale=args.scale, seed=args.seed,
-                                   duration_s=args.hours * 3600.0)
-    else:  # cdn
-        builder = CdnDatasetBuilder(scale=args.scale, seed=args.seed,
-                                    duration_s=args.hours * 3600.0)
-    shard_lists, engine_report = generate_records(
-        builder, shards=args.shards, workers=args.workers)
-    out = Path(args.file)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    paths = write_jsonl_shards(shard_lists, out)
-    count = merge_jsonl_shards(paths, out)
-    for path in paths:
-        path.unlink()
+        spec = ShardSpec.create("allnames", shard_count=args.shards,
+                                scale=args.scale, seed=args.seed)
+    else:  # public-cdn, cdn: same knobs, different registry name
+        spec = ShardSpec.create(args.dataset, shard_count=args.shards,
+                                scale=args.scale, seed=args.seed,
+                                duration_s=args.hours * 3600.0)
+    count, engine_report = generate_jsonl(
+        spec, args.file, workers=args.workers, chunk_size=args.chunk_size)
     reporter.engine(engine_report)
     reporter.note(f"wrote {count} {args.dataset} records to {args.file}")
 
@@ -222,19 +222,17 @@ def cmd_replay(args: argparse.Namespace, reporter: _Reporter) -> None:
 
     The trace is partitioned by qname into ``--shards`` shards replayed
     on ``--workers`` processes; per-shard partials merge into one
-    result, byte-identical for any worker count.
+    result, byte-identical for any worker count.  The parent routes raw
+    JSONL lines to shards; workers parse and replay their own lines, so
+    record objects never cross the pool boundary.
     """
-    if args.dataset == "allnames":
-        records = read_jsonl(args.file, AllNamesRecord)
-    else:  # public-cdn
-        records = read_jsonl(args.file, PublicCdnRecord)
-    result, engine_report = replay_sharded(records, args.dataset,
-                                           shards=args.shards,
-                                           workers=args.workers)
+    result, engine_report = replay_jsonl_sharded(
+        args.file, args.dataset, shards=args.shards, workers=args.workers,
+        chunk_size=args.chunk_size)
     reporter.engine(engine_report)
     reporter.emit("replay", format_table(
         ("metric", "value"),
-        [("records replayed", len(records)),
+        [("records replayed", engine_report.total_records),
          ("peak cache with ECS", result.max_size_ecs),
          ("peak cache without ECS", result.max_size_no_ecs),
          ("blow-up factor", round(result.blowup, 2)),
@@ -253,7 +251,8 @@ def cmd_chaos(args: argparse.Namespace, reporter: _Reporter) -> None:
     plan = preset(args.preset)
     result, engine_report = run_chaos(
         plan, seed=args.seed, fault_seed=args.fault_seed,
-        ingress=args.ingress, shards=args.shards, workers=args.workers)
+        ingress=args.ingress, shards=args.shards, workers=args.workers,
+        chunk_size=args.chunk_size)
     reporter.engine(engine_report)
     reporter.emit("chaos", result.report())
 
@@ -318,6 +317,15 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--shards", type=positive_int, default=DEFAULT_SHARDS,
                          help="shard count; part of the experiment's "
                               "identity, independent of --workers")
+        cmd.add_argument("--pool", choices=POOL_MODES, default="persistent",
+                         help="worker pool lifecycle: one pool reused for "
+                              "the whole command (persistent, default) or "
+                              "a fresh pool per sharded batch "
+                              "(spawn-per-batch); never affects output")
+        cmd.add_argument("--chunk-size", type=positive_int, default=None,
+                         help="consecutive shards per pool submission "
+                              "(default: auto); dispatch detail only, "
+                              "never affects output")
 
     scan = sub.add_parser("scan", help="active scan campaign (sections 4/5/8.2)")
     scan.add_argument("--ingress", type=int, default=300,
@@ -388,13 +396,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _dispatch(args: argparse.Namespace, reporter: _Reporter) -> None:
-    """Run the selected command (or, for ``all``, every analysis)."""
-    if args.command == "all":
-        for name, command in _ANALYSIS_COMMANDS.items():
-            reporter.note(f"### {name}\n")
-            command(args, reporter)
-        return
-    _COMMANDS[args.command](args, reporter)
+    """Run the selected command (or, for ``all``, every analysis).
+
+    Engine commands run against one :class:`WorkerPool` for their whole
+    duration: with ``--pool persistent`` (the default) the worker
+    processes spawn once and serve every sharded call the command makes
+    — for ``all``, that is every sub-command — while ``--pool
+    spawn-per-batch`` reproduces the legacy pool-per-batch lifecycle.
+    The pool is installed in the ambient slot so library code reaches it
+    without threading it through every call.
+    """
+    workers = getattr(args, "workers", 1)
+    pool = (WorkerPool(workers, mode=args.pool)
+            if workers > 1 else None)
+    previous = engine_pool.activate(pool) if pool is not None else None
+    try:
+        if args.command == "all":
+            for name, command in _ANALYSIS_COMMANDS.items():
+                reporter.note(f"### {name}\n")
+                command(args, reporter)
+            return
+        _COMMANDS[args.command](args, reporter)
+    finally:
+        if pool is not None:
+            engine_pool.activate(previous)
+            pool.shutdown()
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -19,21 +19,33 @@ from __future__ import annotations
 from typing import Any
 
 from .executor import EngineReport, ShardStats, run_sharded
+from .pool import (POOL_MODES, PoolError, PoolShutdownError,
+                   ShardDispatchError, WorkerCrashError, WorkerPool)
 from .seeding import WORLD_SHARD, derive_seed, world_seed
-from .sharding import (DEFAULT_SHARDS, partition_by_key, shard_bounds,
-                       stable_bucket)
+from .sharding import (BUILDER_REGISTRY, DEFAULT_SHARDS, ShardSpec,
+                       partition_by_key, register_builder, resolve_builder,
+                       shard_bounds, stable_bucket)
 
 __all__ = [
-    "DEFAULT_SHARDS", "EngineReport", "ShardStats", "WORLD_SHARD",
-    "derive_seed", "generate_dataset", "generate_records",
-    "partition_by_key", "replay_sharded", "run_sharded", "shard_bounds",
-    "stable_bucket", "world_seed",
+    "BUILDER_REGISTRY", "DEFAULT_SHARDS", "EngineReport", "POOL_MODES",
+    "PoolError", "PoolShutdownError", "ShardDispatchError", "ShardSpec",
+    "ShardStats", "WORLD_SHARD", "WorkerCrashError", "WorkerPool",
+    "derive_seed", "generate_dataset", "generate_dataset_spec",
+    "generate_jsonl", "generate_records", "generate_records_spec",
+    "partition_by_key", "register_builder", "replay_jsonl_sharded",
+    "replay_sharded", "replay_spec_sharded", "resolve_builder",
+    "run_sharded", "shard_bounds", "stable_bucket", "world_seed",
 ]
 
 _LAZY = {
     "generate_dataset": "generate",
+    "generate_dataset_spec": "generate",
+    "generate_jsonl": "generate",
     "generate_records": "generate",
+    "generate_records_spec": "generate",
+    "replay_jsonl_sharded": "replay",
     "replay_sharded": "replay",
+    "replay_spec_sharded": "replay",
 }
 
 

@@ -1,12 +1,21 @@
-"""Process-pool shard executor with per-shard throughput counters.
+"""Shard executor: inline or pooled, with spec-dispatch and throughput stats.
 
 ``run_sharded`` is the single execution primitive of the engine: it maps a
 picklable top-level function over a list of shard argument tuples, either
-inline (``workers=1``) or on a ``concurrent.futures`` process pool, and
-always returns results **in shard order** regardless of completion order.
-That ordering guarantee — plus the fact that shard inputs never depend on
-the worker count — is what makes parallel runs byte-identical to serial
-ones.
+inline (``workers=1``) or on a :class:`~repro.engine.pool.WorkerPool`,
+and always returns results **in shard order** regardless of completion
+order.  That ordering guarantee — plus the fact that shard inputs never
+depend on the worker count — is what makes parallel runs byte-identical
+to serial ones.
+
+Dispatch follows the spec protocol from :mod:`repro.engine.pool`: the
+run's *shared* state (worker function token plus everything common to
+all shards — builder spec, trace kind, fault plan) is serialized once in
+the parent and memoized per worker, while each shard ships only its
+private arguments.  :class:`ShardStats` records the serialized bytes
+each shard actually pushed through the pool boundary, which is the
+number the engine bench tracks to keep the ship-the-whole-record-list
+pessimization from returning.
 
 Timing is measured inside each worker, so :class:`ShardStats` reflects
 real per-shard compute time; the wall clock is measured by the parent.
@@ -26,8 +35,8 @@ metrics and span topology are identical for every worker count.
 
 from __future__ import annotations
 
+import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -35,6 +44,8 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Span, Tracer
+from . import pool as pool_mod
+from .pool import WorkerPool, decode_header, encode_header, encode_shard_args
 
 
 @dataclass
@@ -44,6 +55,9 @@ class ShardStats:
     shard_index: int
     records: int
     seconds: float
+    #: Serialized bytes of this shard's private spec as dispatched to the
+    #: pool (0 for inline execution, where nothing crosses a boundary).
+    payload_bytes: int = 0
 
     @property
     def records_per_second(self) -> float:
@@ -68,6 +82,11 @@ class EngineReport:
     metrics: Optional[MetricsRegistry] = None
     spans: List[Span] = field(default_factory=list)
     spans_dropped: int = 0
+    #: How the shards executed: "inline", "persistent" or
+    #: "spawn-per-batch".  Execution detail only — never affects output.
+    pool_mode: str = "inline"
+    #: Serialized bytes of the run's shared header (0 when inline).
+    header_bytes: int = 0
 
     @property
     def total_records(self) -> int:
@@ -79,6 +98,18 @@ class EngineReport:
         if self.wall_seconds <= 0:
             return 0.0
         return self.total_records / self.wall_seconds
+
+    @property
+    def payload_bytes(self) -> int:
+        """Serialized shard-spec bytes shipped to workers, all shards."""
+        return sum(s.payload_bytes for s in self.shards)
+
+    @property
+    def payload_bytes_per_shard(self) -> float:
+        """Mean serialized bytes per shard crossing the pool boundary."""
+        if not self.shards:
+            return 0.0
+        return self.payload_bytes / len(self.shards)
 
     def summary(self) -> str:
         """One-line status suitable for stderr/progress notes."""
@@ -133,20 +164,26 @@ def _observed_call(fn: Callable[..., Any], args: Tuple[Any, ...],
     return result, seconds, registry, spans, dropped
 
 
-def _observed_call_chunk(fn: Callable[..., Any],
-                         chunk: Sequence[Tuple[Any, ...]],
-                         base_index: int, capture_metrics: bool,
-                         capture_traces: bool) -> List[_Outcome]:
-    """Run several consecutive shards in one worker dispatch.
+def _run_header_chunk(header: bytes, args_blobs: Sequence[bytes],
+                      base_index: int, capture_metrics: bool,
+                      capture_traces: bool) -> List[_Outcome]:
+    """Worker entry point: run several consecutive shards of one run.
 
-    Batching shard calls into one submission pickles ``fn`` and the pool
-    bookkeeping once per chunk instead of once per shard; each shard is
-    still timed (and observed) individually so per-shard stats stay
-    meaningful.
+    The run header (function token + shared state) is decoded at most
+    once per worker process — :func:`repro.engine.pool.decode_header`
+    memoizes by content digest — so a run with many chunks pays one
+    shared-state deserialization per worker, not one per chunk.  Each
+    shard is still timed (and observed) individually so per-shard stats
+    stay meaningful.
     """
-    return [_observed_call(fn, args, base_index + offset,
-                           capture_metrics, capture_traces)
-            for offset, args in enumerate(chunk)]
+    fn, shared = decode_header(header)
+    outcomes: List[_Outcome] = []
+    for offset, blob in enumerate(args_blobs):
+        args = pickle.loads(blob)
+        outcomes.append(_observed_call(fn, tuple(shared) + tuple(args),
+                                       base_index + offset,
+                                       capture_metrics, capture_traces))
+    return outcomes
 
 
 def _timed_call(fn: Callable[..., Any],
@@ -162,48 +199,87 @@ def _chunk_bounds(total: int, chunk_size: int) -> List[Tuple[int, int]]:
             for lo in range(0, total, chunk_size)]
 
 
+def _resolve_pool(pool: Optional[WorkerPool],
+                  workers: int) -> Tuple[WorkerPool, bool]:
+    """The pool a parallel run executes on, and whether it is ephemeral.
+
+    Precedence: an explicitly passed pool, then the ambient
+    :data:`repro.engine.pool.ACTIVE` pool (the CLI installs one per
+    command), then a throwaway spawn-per-batch pool reproducing the
+    legacy per-call lifecycle for direct library callers.
+    """
+    if pool is not None:
+        return pool, False
+    ambient = pool_mod.ACTIVE
+    if ambient is not None:
+        return ambient, False
+    return WorkerPool(workers, mode="spawn-per-batch"), True
+
+
 def run_sharded(fn: Callable[..., Any],
                 shard_args: Sequence[Tuple[Any, ...]],
                 workers: int = 1, task: str = "engine",
                 count_of: Optional[Callable[[Any], int]] = None,
-                chunk_size: Optional[int] = None
+                chunk_size: Optional[int] = None,
+                shared: Tuple[Any, ...] = (),
+                pool: Optional[WorkerPool] = None
                 ) -> Tuple[List[Any], EngineReport]:
-    """Run ``fn`` over every argument tuple, one call per shard.
+    """Run ``fn(*shared, *args)`` for every argument tuple, one per shard.
 
     ``fn`` must be a module-level (picklable) function.  With
-    ``workers > 1`` the calls run on a process pool; results are still
+    ``workers > 1`` the calls run on a worker pool (an explicit ``pool``,
+    the ambient CLI pool, or a throwaway one); results are still
     collected in shard order, so output never depends on scheduling.
     ``count_of`` extracts a record count from each result for the stats
     (defaults to ``len`` where available).
 
+    ``shared`` holds the arguments common to every shard — the builder
+    spec, trace kind, fault plan.  It is serialized once per run and
+    memoized per worker, so per-shard dispatch cost is the private
+    ``args`` tuple alone; keep per-shard tuples down to indices and
+    bounds and the pool boundary carries O(shards) small objects total.
+
     ``chunk_size`` batches that many consecutive shards per pool
-    submission to cut pickling overhead when shards far outnumber
-    workers; ``None`` picks a size that keeps every worker busy with ~4
+    submission to cut round-trips when shards far outnumber workers;
+    ``None`` picks a size that keeps every worker busy with ~4
     submissions.  Chunking is pure dispatch — shard inputs, per-shard
     seeding and result order are unchanged, so outputs stay byte-identical
-    for any (workers, chunk_size) combination.
+    for any (workers, chunk_size, pool mode) combination.
     """
     workers = max(1, workers)
     capture_metrics = obs_metrics.ACTIVE is not None
     capture_traces = obs_trace.ACTIVE is not None
     wall_start = time.perf_counter()
     outcomes: List[_Outcome] = []
+    payload_bytes: List[int] = [0] * len(shard_args)
+    header_bytes = 0
+    pool_mode = "inline"
     if workers == 1 or len(shard_args) <= 1:
         for index, args in enumerate(shard_args):
-            outcomes.append(_observed_call(fn, args, index,
-                                           capture_metrics, capture_traces))
+            outcomes.append(_observed_call(fn, tuple(shared) + tuple(args),
+                                           index, capture_metrics,
+                                           capture_traces))
     else:
+        header = encode_header(fn, tuple(shared))
+        header_bytes = len(header)
+        blobs = [encode_shard_args(tuple(args), index)
+                 for index, args in enumerate(shard_args)]
+        payload_bytes = [len(blob) for blob in blobs]
         if chunk_size is None:
             chunk_size = max(1, len(shard_args) // (workers * 4))
         bounds = _chunk_bounds(len(shard_args), max(1, chunk_size))
-        with ProcessPoolExecutor(
-                max_workers=min(workers, len(bounds))) as pool:
-            futures = [pool.submit(_observed_call_chunk, fn,
-                                   list(shard_args[lo:hi]), lo,
-                                   capture_metrics, capture_traces)
+        run_pool, ephemeral = _resolve_pool(pool, workers)
+        pool_mode = run_pool.mode
+        submissions = [(header, blobs[lo:hi], lo,
+                        capture_metrics, capture_traces)
                        for lo, hi in bounds]
-            for future in futures:
-                outcomes.extend(future.result())
+        try:
+            for chunk in run_pool.run_batch(_run_header_chunk, submissions,
+                                            task=task):
+                outcomes.extend(chunk)
+        finally:
+            if ephemeral:
+                run_pool.shutdown()
     wall = time.perf_counter() - wall_start
 
     results: List[Any] = []
@@ -216,8 +292,10 @@ def run_sharded(fn: Callable[..., Any],
         else:
             count = 0
         results.append(result)
-        stats.append(ShardStats(index, count, seconds))
-    report = EngineReport(task, workers, wall, stats)
+        stats.append(ShardStats(index, count, seconds,
+                                payload_bytes[index]))
+    report = EngineReport(task, workers, wall, stats,
+                          pool_mode=pool_mode, header_bytes=header_bytes)
     _fold_observability(report, outcomes, capture_metrics, capture_traces)
     return results, report
 

@@ -1,4 +1,4 @@
-"""Sharded dataset generation.
+"""Sharded dataset generation: builder-object and shard-spec dispatch.
 
 A *shardable builder* exposes three methods::
 
@@ -12,15 +12,36 @@ shard index (its random stream is seeded via
 The engine then guarantees the merged output is identical for any worker
 count, because shards are generated from fixed seeds and merged in shard
 order.
+
+Two dispatch flavors coexist:
+
+* the **builder-object** path (:func:`generate_records` /
+  :func:`generate_dataset`) ships the builder instance as the run's
+  shared state — serialized once per run, not once per shard — and
+  returns materialized record lists to the parent.  It is the readable
+  reference the equivalence suite pins the spec path against.
+
+* the **spec** path (:func:`generate_records_spec` /
+  :func:`generate_dataset_spec` / :func:`generate_jsonl`) ships a
+  :class:`~repro.engine.sharding.ShardSpec` (builder name + kwargs, tens
+  of bytes) and rebuilds the builder inside the worker.
+  :func:`generate_jsonl` goes one step further: each worker writes its
+  shard's records to the conventional ``<file>.shardNN`` sibling itself
+  and returns only a count, so for the ``generate`` command *nothing*
+  record-shaped crosses the pool boundary in either direction — the
+  parent just k-way-merges the shard files.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Protocol, Sequence, Tuple
+from pathlib import Path
+from typing import Any, List, Optional, Protocol, Sequence, Tuple, Union
 
+from ..datasets.records import merge_jsonl_shards, shard_path, write_jsonl
 from ..obs import metrics as _obs_metrics
 from .executor import EngineReport, run_sharded
-from .sharding import DEFAULT_SHARDS
+from .pool import WorkerPool
+from .sharding import DEFAULT_SHARDS, ShardSpec
 
 
 class ShardableBuilder(Protocol):
@@ -46,10 +67,9 @@ class ShardableBuilder(Protocol):
         ...
 
 
-def _build_shard(builder: ShardableBuilder, shard_index: int,
-                 shard_count: int) -> List[Any]:
-    """Worker entry point; module-level so it pickles by reference."""
-    records = builder.build_shard(shard_index, shard_count)
+def _count_generated(builder: ShardableBuilder,
+                     records: List[Any]) -> List[Any]:
+    """Record the per-shard generation counter (shared by both paths)."""
     reg = _obs_metrics.ACTIVE
     if reg is not None:
         reg.counter("repro_generate_records_total",
@@ -58,33 +78,124 @@ def _build_shard(builder: ShardableBuilder, shard_index: int,
     return records
 
 
+def _build_shard(builder: ShardableBuilder, shard_index: int,
+                 shard_count: int) -> List[Any]:
+    """Worker entry point; module-level so it pickles by reference."""
+    return _count_generated(builder,
+                            builder.build_shard(shard_index, shard_count))
+
+
+def _build_shard_from_spec(spec: ShardSpec, shard_index: int) -> List[Any]:
+    """Worker entry point for spec dispatch: rebuild, then build."""
+    builder = spec.make_builder()
+    return _count_generated(builder,
+                            builder.build_shard(shard_index,
+                                                spec.shard_count))
+
+
+def _write_shard_from_spec(spec: ShardSpec, out_base: str,
+                           shard_index: int) -> int:
+    """Worker entry point: build one shard and write its JSONL file.
+
+    Returns only the record count — the shard's bytes stay on disk at
+    :func:`repro.datasets.records.shard_path`, where the parent's k-way
+    merge picks them up.
+    """
+    records = _build_shard_from_spec(spec, shard_index)
+    return write_jsonl(records, shard_path(out_base, shard_index))
+
+
 def generate_records(builder: ShardableBuilder,
                      shards: int = DEFAULT_SHARDS,
-                     workers: int = 1, chunk_size: Optional[int] = None
+                     workers: int = 1, chunk_size: Optional[int] = None,
+                     pool: Optional[WorkerPool] = None
                      ) -> Tuple[List[List[Any]], EngineReport]:
     """Generate all shards of ``builder``; returns per-shard record lists.
 
     The lists come back in shard order, each sorted by timestamp — ready
     for :func:`repro.datasets.records.write_jsonl_shards` or for
-    ``builder.assemble``.  ``chunk_size`` batches shard dispatch (the
-    builder pickles once per chunk instead of once per shard); it never
-    affects the generated records.
+    ``builder.assemble``.  The builder travels as shared run state
+    (serialized once per run, decoded once per worker); ``chunk_size``
+    batches shard dispatch and never affects the generated records.
     """
     if shards <= 0:
         raise ValueError("shards must be >= 1")
     name = type(builder).__name__
-    shard_args = [(builder, i, shards) for i in range(shards)]
+    shard_args = [(i, shards) for i in range(shards)]
     return run_sharded(_build_shard, shard_args, workers=workers,
-                       task=f"generate:{name}", chunk_size=chunk_size)
+                       task=f"generate:{name}", chunk_size=chunk_size,
+                       shared=(builder,), pool=pool)
 
 
 def generate_dataset(builder: ShardableBuilder,
                      shards: int = DEFAULT_SHARDS,
                      workers: int = 1,
-                     chunk_size: Optional[int] = None
+                     chunk_size: Optional[int] = None,
+                     pool: Optional[WorkerPool] = None
                      ) -> Tuple[Any, EngineReport]:
     """Generate and assemble a full dataset object from shards."""
     shard_lists, report = generate_records(builder, shards=shards,
                                            workers=workers,
-                                           chunk_size=chunk_size)
+                                           chunk_size=chunk_size, pool=pool)
     return builder.assemble(shard_lists), report
+
+
+def generate_records_spec(spec: ShardSpec, workers: int = 1,
+                          chunk_size: Optional[int] = None,
+                          pool: Optional[WorkerPool] = None
+                          ) -> Tuple[List[List[Any]], EngineReport]:
+    """Spec-dispatch twin of :func:`generate_records`.
+
+    Workers rebuild the builder from ``spec`` (name + kwargs), so the
+    inbound boundary carries O(shards) tuples of two small values; the
+    shard record lists still return to the parent.  Byte-identical to
+    the builder-object path for the same spec by construction — the
+    equivalence suite asserts it.
+    """
+    shard_args = [(i,) for i in range(spec.shard_count)]
+    return run_sharded(_build_shard_from_spec, shard_args, workers=workers,
+                       task=f"generate:{spec.builder}",
+                       chunk_size=chunk_size, shared=(spec,), pool=pool)
+
+
+def generate_dataset_spec(spec: ShardSpec, workers: int = 1,
+                          chunk_size: Optional[int] = None,
+                          pool: Optional[WorkerPool] = None
+                          ) -> Tuple[Any, EngineReport]:
+    """Generate and assemble a dataset from a shard spec."""
+    shard_lists, report = generate_records_spec(spec, workers=workers,
+                                                chunk_size=chunk_size,
+                                                pool=pool)
+    return spec.make_builder().assemble(shard_lists), report
+
+
+def generate_jsonl(spec: ShardSpec, out_path: Union[str, Path],
+                   workers: int = 1, chunk_size: Optional[int] = None,
+                   pool: Optional[WorkerPool] = None
+                   ) -> Tuple[int, EngineReport]:
+    """Generate ``spec`` straight to a JSONL trace at ``out_path``.
+
+    Each worker writes its own ``<file>.shardNN`` sibling; the parent
+    k-way-merges them into the final trace and removes the shard files.
+    Record payloads never cross the pool boundary in either direction,
+    and the merged bytes are identical for any (workers, chunk size,
+    pool mode) — the same bytes the parent-side
+    :func:`~repro.datasets.records.write_jsonl_shards` route produces.
+    Returns ``(record count, engine report)``.
+    """
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    shard_args = [(i,) for i in range(spec.shard_count)]
+    counts, report = run_sharded(
+        _write_shard_from_spec, shard_args, workers=workers,
+        task=f"generate:{spec.builder}", chunk_size=chunk_size,
+        shared=(spec, str(out)), pool=pool,
+        count_of=lambda count: int(count))
+    paths = [shard_path(out, i) for i in range(spec.shard_count)]
+    total = merge_jsonl_shards(paths, out)
+    for path in paths:
+        path.unlink()
+    if total != sum(counts):
+        raise RuntimeError(f"shard merge wrote {total} records, workers "
+                           f"reported {sum(counts)}")
+    return total, report

@@ -16,17 +16,25 @@ The shard count is fixed independently of the worker count, so
 
 from __future__ import annotations
 
+import functools
+import json
+import re
 from operator import attrgetter
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Type, Union)
 
 from ..analysis.cache_sim import (ReplayPartial, ReplayResult,
                                   merge_partials, replay_partial,
                                   replay_partial_batched)
 from ..core.cache import ScopeTracker
+from ..datasets.records import AllNamesRecord, PublicCdnRecord
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs_trace
 from .executor import EngineReport, run_sharded
-from .sharding import DEFAULT_SHARDS, partition_by_key
+from .pool import WorkerPool
+from .sharding import (DEFAULT_SHARDS, ShardSpec, partition_by_key,
+                       stable_bucket)
 
 
 def _allnames_client(r: Any) -> str:
@@ -61,6 +69,12 @@ ACCESSORS: Dict[str, Tuple[Accessor, Accessor, Accessor]] = {
 CLIENT_FIELDS: Dict[str, str] = {
     "allnames": "client_ip",
     "public-cdn": "ecs_address",
+}
+
+#: JSONL record class per trace kind (what workers parse lines into).
+RECORD_TYPES: Dict[str, Type[Any]] = {
+    "allnames": AllNamesRecord,
+    "public-cdn": PublicCdnRecord,
 }
 
 
@@ -159,25 +173,152 @@ def _qname_of(record: Any) -> str:
     return str(record.qname)
 
 
-def replay_sharded(records: Sequence[Any], kind: str,
-                   shards: int = DEFAULT_SHARDS, workers: int = 1,
-                   chunk_size: Optional[int] = None
-                   ) -> Tuple[ReplayResult, EngineReport]:
-    """Replay a trace across shards; returns the merged result.
-
-    ``kind`` selects the record accessors (see :data:`ACCESSORS`).  The
-    trace is partitioned by qname so every cache key lives in exactly one
-    shard; shard partials merge associatively via
-    :func:`repro.analysis.cache_sim.merge_partials`.
-    """
+def _check_kind_and_shards(kind: str, shards: int) -> None:
     if kind not in CLIENT_FIELDS:
         raise ValueError(f"unknown trace kind {kind!r}; "
                          f"expected one of {sorted(CLIENT_FIELDS)}")
     if shards <= 0:
         raise ValueError("shards must be >= 1")
+
+
+def replay_sharded(records: Sequence[Any], kind: str,
+                   shards: int = DEFAULT_SHARDS, workers: int = 1,
+                   chunk_size: Optional[int] = None,
+                   pool: Optional[WorkerPool] = None
+                   ) -> Tuple[ReplayResult, EngineReport]:
+    """Replay an in-memory trace across shards; the list-based reference.
+
+    ``kind`` selects the record accessors (see :data:`ACCESSORS`).  The
+    trace is partitioned by qname so every cache key lives in exactly one
+    shard; shard partials merge associatively via
+    :func:`repro.analysis.cache_sim.merge_partials`.
+
+    This path ships materialized record lists to the workers — the very
+    cost spec dispatch exists to avoid — so it is the readable reference
+    the equivalence suite pins :func:`replay_jsonl_sharded` and
+    :func:`replay_spec_sharded` against, and the right call only when
+    the records already live in the parent.
+    """
+    _check_kind_and_shards(kind, shards)
     buckets = partition_by_key(records, shards, _qname_of)
-    shard_args = [(bucket, kind) for bucket in buckets]
+    shard_args = [(bucket,) for bucket in buckets]
     partials, report = run_sharded(
-        _replay_shard, shard_args, workers=workers, task=f"replay:{kind}",
-        count_of=lambda partial: partial.queries, chunk_size=chunk_size)
+        _replay_shard_of_kind, shard_args, workers=workers,
+        task=f"replay:{kind}", count_of=lambda partial: partial.queries,
+        chunk_size=chunk_size, shared=(kind,), pool=pool)
+    return merge_partials(partials), report
+
+
+def _replay_shard_of_kind(kind: str, records: List[Any]) -> ReplayPartial:
+    """Worker entry point with ``kind`` as shared run state."""
+    return _replay_shard(records, kind)
+
+
+# ---------------------------------------------------------------------------
+# Spec dispatch: rebuild the records inside the worker.
+
+#: Fast-path qname extraction from a compact JSONL line.  Falls back to
+#: a full JSON parse for escaped or re-ordered lines, so bucketing is
+#: correct for any valid JSONL input.
+_QNAME_RE = re.compile(r'"qname":"([^"\\]*)"')
+
+
+def _qname_of_line(line: str) -> str:
+    match = _QNAME_RE.search(line)
+    if match is not None:
+        return match.group(1)
+    return str(json.loads(line)["qname"])
+
+
+def _parse_lines(kind: str, lines: Sequence[str]) -> List[Any]:
+    """Materialize one shard's records from its raw JSONL lines."""
+    record_type = RECORD_TYPES[kind]
+    return [record_type(**json.loads(line)) for line in lines]
+
+
+def _replay_lines_shard(kind: str, lines: List[str]) -> ReplayPartial:
+    """Worker entry point: parse one shard's JSONL lines, then replay.
+
+    Counter-identical to ``_replay_shard`` over the parsed records —
+    parsing location (parent vs worker) can never change replay output.
+    """
+    return _replay_shard(_parse_lines(kind, lines), kind)
+
+
+def replay_jsonl_sharded(path: Union[str, Path], kind: str,
+                         shards: int = DEFAULT_SHARDS, workers: int = 1,
+                         chunk_size: Optional[int] = None,
+                         pool: Optional[WorkerPool] = None
+                         ) -> Tuple[ReplayResult, EngineReport]:
+    """Replay a saved JSONL trace; record parsing happens in the workers.
+
+    The parent streams the file once, routes each *raw line* to its
+    qname bucket (a substring scan — no JSON parse), and ships lines.
+    Workers parse their own shard's lines into records and replay them,
+    so the expensive work — object construction plus the replay itself —
+    parallelizes, and the pool boundary carries flat strings instead of
+    per-record object pickles.  Byte-identical to
+    ``replay_sharded(read_jsonl(path), kind)`` by construction.
+    """
+    _check_kind_and_shards(kind, shards)
+    buckets: List[List[str]] = [[] for _ in range(shards)]
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                buckets[stable_bucket(_qname_of_line(line), shards)] \
+                    .append(line)
+    shard_args = [(bucket,) for bucket in buckets]
+    partials, report = run_sharded(
+        _replay_lines_shard, shard_args, workers=workers,
+        task=f"replay:{kind}", count_of=lambda partial: partial.queries,
+        chunk_size=chunk_size, shared=(kind,), pool=pool)
+    return merge_partials(partials), report
+
+
+@functools.lru_cache(maxsize=2)
+def _spec_buckets(spec: ShardSpec, kind: str,
+                  shards: int) -> Tuple[List[Any], ...]:
+    """Materialize ``spec``'s dataset and partition it by qname — once.
+
+    Runs inside the worker (or inline in the parent) and is memoized, so
+    a worker that replays many shards of one run builds the dataset a
+    single time; with a persistent pool that is once per worker process
+    for the whole run.  Deterministic: the records depend only on the
+    spec, so a cache hit can never change output.
+    """
+    builder = spec.make_builder()
+    shard_lists = [builder.build_shard(i, spec.shard_count)
+                   for i in range(spec.shard_count)]
+    dataset = builder.assemble(shard_lists)
+    return tuple(partition_by_key(dataset.records, shards, _qname_of))
+
+
+def _replay_spec_shard(spec: ShardSpec, kind: str, shards: int,
+                       shard_index: int) -> ReplayPartial:
+    """Worker entry point: rebuild records from the spec, replay one shard."""
+    return _replay_shard(list(_spec_buckets(spec, kind, shards)[shard_index]),
+                         kind)
+
+
+def replay_spec_sharded(spec: ShardSpec, kind: str,
+                        shards: int = DEFAULT_SHARDS, workers: int = 1,
+                        chunk_size: Optional[int] = None,
+                        pool: Optional[WorkerPool] = None
+                        ) -> Tuple[ReplayResult, EngineReport]:
+    """Replay a builder's dataset without ever materializing it centrally.
+
+    Workers rebuild the records from the :class:`ShardSpec` (builder
+    name + kwargs — tens of bytes on the wire) and replay their qname
+    shards; only ``ReplayPartial`` counters return.  ``shards`` is the
+    *replay* partition count and is independent of ``spec.shard_count``,
+    the generation decomposition.  Byte-identical to generating the
+    dataset in the parent and calling :func:`replay_sharded` on it.
+    """
+    _check_kind_and_shards(kind, shards)
+    shard_args = [(i,) for i in range(shards)]
+    partials, report = run_sharded(
+        _replay_spec_shard, shard_args, workers=workers,
+        task=f"replay:{kind}", count_of=lambda partial: partial.queries,
+        chunk_size=chunk_size, shared=(spec, kind, shards), pool=pool)
     return merge_partials(partials), report

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 from ..analysis.report import format_network_stats, format_table
 from ..datasets.scan_dataset import ScanUniverseBuilder
 from ..engine.executor import EngineReport, run_sharded
+from ..engine.pool import WorkerPool
 from ..engine.seeding import derive_seed
 from ..engine.sharding import DEFAULT_SHARDS, shard_bounds
 from ..measure.scanner import Scanner
@@ -154,16 +155,25 @@ def _chaos_shard(plan: FaultPlan, policy: RetryPolicy, seed: int,
 def run_chaos(plan: FaultPlan, *, seed: int = 0, fault_seed: int = 0,
               ingress: int = 120, shards: int = DEFAULT_SHARDS,
               workers: int = 1,
-              retry_policy: Optional[RetryPolicy] = None
+              retry_policy: Optional[RetryPolicy] = None,
+              chunk_size: Optional[int] = None,
+              pool: Optional[WorkerPool] = None
               ) -> Tuple[ChaosResult, EngineReport]:
-    """Run the chaos campaign sharded; returns (result, engine report)."""
+    """Run the chaos campaign sharded; returns (result, engine report).
+
+    The fault plan, retry policy and seeds are shared run state —
+    serialized once per run, decoded once per worker — so each shard's
+    private spec is just ``(index, size)``.
+    """
     policy = retry_policy if retry_policy is not None else CHAOS_RETRY_POLICY
     sizes = [hi - lo for lo, hi in shard_bounds(ingress, shards)]
-    shard_args = [(plan, policy, seed, fault_seed, index, size)
+    shard_args = [(index, size)
                   for index, size in enumerate(sizes) if size > 0]
     partials, engine_report = run_sharded(
         _chaos_shard, shard_args, workers=workers,
-        task=f"chaos[{plan.name}]", count_of=_probe_count)
+        task=f"chaos[{plan.name}]", count_of=_probe_count,
+        chunk_size=chunk_size, shared=(plan, policy, seed, fault_seed),
+        pool=pool)
     totals = ChaosPartial()
     for partial in partials:
         totals.merge_from(partial)

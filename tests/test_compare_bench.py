@@ -58,3 +58,80 @@ def test_main_exit_codes(tmp_path):
     bad["replay"]["records_per_second"] = 1.0
     new_path.write_text(json.dumps(bad))
     assert compare_bench.main([str(old_path), str(new_path)]) == 1
+
+
+# ---------------------------------------------------------------------------
+# The parallel-speedup gate (--check-speedup).
+
+
+def _engine_doc(workers1_rps, workers4_rps, cpu_count):
+    return {
+        "replay_workers1": {"records_per_second": workers1_rps,
+                            "workers": 1, "cpu_count": cpu_count},
+        "replay_workers4": {"records_per_second": workers4_rps,
+                            "workers": 4, "cpu_count": cpu_count},
+        "unrelated_bench": {"records_per_second": 10.0},
+    }
+
+
+def test_worker_families_groups_by_base():
+    families = compare_bench.worker_families(_engine_doc(100.0, 200.0, 8))
+    assert set(families) == {"replay"}
+    assert set(families["replay"]) == {1, 4}
+
+
+def test_speedup_gate_passes_on_scaling_host():
+    doc = _engine_doc(100_000.0, 180_000.0, cpu_count=8)   # 1.8x
+    lines, failures = compare_bench.check_speedup(doc)
+    assert failures == []
+    assert any("1.80x" in line and "ok" in line for line in lines)
+
+
+def test_speedup_gate_fails_below_min_on_scaling_host():
+    doc = _engine_doc(100_000.0, 120_000.0, cpu_count=8)   # 1.2x < 1.5x
+    _, failures = compare_bench.check_speedup(doc)
+    assert len(failures) == 1
+    assert "workers4/workers1 = 1.20x" in failures[0]
+
+
+def test_speedup_gate_degrades_to_floor_on_starved_host():
+    # 0.55x on a 1-core container: no scaling possible, floor applies.
+    doc = _engine_doc(100_000.0, 55_000.0, cpu_count=1)
+    lines, failures = compare_bench.check_speedup(doc)
+    assert failures == []
+    assert any("no-pessimization floor" in line for line in lines)
+    # The legacy ship-everything pessimization (~0.1x) still fails.
+    doc = _engine_doc(100_000.0, 10_000.0, cpu_count=1)
+    _, failures = compare_bench.check_speedup(doc)
+    assert len(failures) == 1
+
+
+def test_speedup_gate_ignores_unpaired_and_missing_rps():
+    doc = {
+        "solo_workers4": {"records_per_second": 5.0, "cpu_count": 8},
+        "norps_workers1": {"workers": 1},
+        "norps_workers4": {"records_per_second": 5.0, "cpu_count": 8},
+    }
+    lines, failures = compare_bench.check_speedup(doc)
+    assert lines == [] and failures == []
+
+
+def test_main_speedup_mode_single_file(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(_engine_doc(100_000.0, 180_000.0, 8)))
+    assert compare_bench.main([str(path), "--check-speedup"]) == 0
+    path.write_text(json.dumps(_engine_doc(100_000.0, 120_000.0, 8)))
+    assert compare_bench.main([str(path), "--check-speedup"]) == 1
+    # A custom threshold is honored.
+    assert compare_bench.main([str(path), "--check-speedup",
+                               "--min-speedup", "1.1"]) == 0
+
+
+def test_main_combined_compare_and_speedup(tmp_path):
+    old_path = tmp_path / "old.json"
+    new_path = tmp_path / "new.json"
+    doc = _engine_doc(100_000.0, 180_000.0, 8)
+    old_path.write_text(json.dumps(doc))
+    new_path.write_text(json.dumps(doc))
+    assert compare_bench.main([str(old_path), str(new_path),
+                               "--check-speedup"]) == 0

@@ -1,0 +1,230 @@
+"""Failure modes of the worker pool and the spec-dispatch protocol.
+
+A parallel engine earns trust by how it fails: a dead worker must
+surface as a prompt, attributable error (never a hang), a poisoned shard
+spec must fail fast in the parent naming the shard, and the pool must
+shut down idempotently.  This suite also pins the serialization economics
+the protocol exists for — shared run state pickled once per run and
+decoded once per worker, no matter how many chunks the run dispatches.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from typing import Any, List, Tuple
+
+import pytest
+
+from repro.engine import (PoolShutdownError, ShardDispatchError,
+                          WorkerCrashError, WorkerPool, run_sharded)
+from repro.engine import pool as pool_mod
+from repro.engine.pool import (decode_header, derived_state, encode_header,
+                               encode_shard_args, fn_token, header_digest,
+                               header_loads)
+
+
+def _double(shard_index: int) -> int:
+    return shard_index * 2
+
+
+def _exit_worker(target: int, shard_index: int) -> int:
+    """Dies hard (bypassing exception handling) on the target shard."""
+    if shard_index == target:
+        os._exit(13)
+    return shard_index
+
+
+def _report_header_loads(tag: str, shard_index: int) -> int:
+    """Returns how many run headers this process has ever decoded."""
+    del tag, shard_index
+    return header_loads()
+
+
+class CountingState:
+    """Shared run state that counts its own pickling (parent side)."""
+
+    serializations = 0
+
+    def __init__(self, payload: str = "shared"):
+        self.payload = payload
+
+    def __getstate__(self) -> dict:
+        type(self).serializations += 1
+        return {"payload": self.payload}
+
+    def __setstate__(self, state: dict) -> None:
+        self.payload = state["payload"]
+
+
+def _use_state(state: CountingState, shard_index: int) -> str:
+    return f"{state.payload}:{shard_index}"
+
+
+# ---------------------------------------------------------------------------
+# Worker crashes.
+
+
+def test_worker_crash_raises_promptly_with_task_name():
+    with WorkerPool(2) as pool:
+        with pytest.raises(WorkerCrashError, match="chaos-crash.*died"):
+            run_sharded(_exit_worker, [(i,) for i in range(4)], workers=2,
+                        task="chaos-crash", chunk_size=1, shared=(2,),
+                        pool=pool)
+
+
+def test_persistent_pool_recovers_after_crash():
+    """A crash discards the broken executor; the next batch respawns."""
+    with WorkerPool(2) as pool:
+        with pytest.raises(WorkerCrashError):
+            run_sharded(_exit_worker, [(i,) for i in range(4)], workers=2,
+                        chunk_size=1, shared=(1,), pool=pool)
+        results, report = run_sharded(_double, [(i,) for i in range(4)],
+                                      workers=2, chunk_size=1, pool=pool)
+        assert results == [0, 2, 4, 6]
+        assert report.pool_mode == "persistent"
+
+
+def test_spawn_per_batch_crash_also_attributed():
+    with WorkerPool(2, mode="spawn-per-batch") as pool:
+        with pytest.raises(WorkerCrashError, match="worker process died"):
+            run_sharded(_exit_worker, [(i,) for i in range(4)], workers=2,
+                        chunk_size=1, shared=(0,), pool=pool)
+
+
+# ---------------------------------------------------------------------------
+# Shutdown semantics.
+
+
+def test_shutdown_is_idempotent_even_on_unused_pool():
+    pool = WorkerPool(2)
+    pool.shutdown()
+    pool.shutdown()  # second call must be a no-op, not an error
+
+    used = WorkerPool(2)
+    assert run_sharded(_double, [(0,), (1,)], workers=2,
+                       pool=used)[0] == [0, 2]
+    used.shutdown()
+    used.shutdown()
+
+
+def test_use_after_shutdown_raises_pool_shutdown_error():
+    pool = WorkerPool(2)
+    pool.shutdown()
+    with pytest.raises(PoolShutdownError, match="shut down"):
+        run_sharded(_double, [(0,), (1,)], workers=2, pool=pool)
+
+
+def test_pool_constructor_validates():
+    with pytest.raises(ValueError, match="workers must be >= 1"):
+        WorkerPool(0)
+    with pytest.raises(ValueError, match="unknown pool mode"):
+        WorkerPool(2, mode="threads")
+
+
+# ---------------------------------------------------------------------------
+# Poisoned specs fail fast, in the parent, naming the culprit.
+
+
+def test_unpicklable_shard_arg_names_the_shard():
+    pool = WorkerPool(2)
+    args: List[Tuple[Any, ...]] = [(0,), (1,), (threading.Lock(),), (3,)]
+    with pytest.raises(ShardDispatchError, match=r"shard 2 spec"):
+        run_sharded(_double, args, workers=2, pool=pool)
+    # Dispatch failed during encoding, before anything was submitted:
+    # the persistent pool never had to spawn its executor.
+    assert pool._executor is None
+    pool.shutdown()
+
+
+def test_unpicklable_shared_state_fails_fast():
+    with pytest.raises(ShardDispatchError, match="shared run state"):
+        run_sharded(_double, [(0,), (1,)], workers=2,
+                    shared=(threading.Lock(),))
+
+
+def test_fn_token_rejects_unaddressable_functions():
+    with pytest.raises(ShardDispatchError, match="module-level"):
+        fn_token(lambda x: x)
+
+    def nested(x: int) -> int:
+        return x
+
+    with pytest.raises(ShardDispatchError, match="module-level"):
+        fn_token(nested)
+    assert fn_token(_double) == (__name__, "_double")
+
+
+# ---------------------------------------------------------------------------
+# Serialization economics: once per run, once per worker.
+
+
+def test_shared_state_pickled_once_per_run_despite_many_chunks():
+    """The re-pickle fix: 8 shards x chunk_size=1 is still ONE pickle."""
+    CountingState.serializations = 0
+    state = CountingState()
+    with WorkerPool(2) as pool:
+        results, _ = run_sharded(_use_state, [(i,) for i in range(8)],
+                                 workers=2, chunk_size=1, shared=(state,),
+                                 pool=pool)
+    assert results == [f"shared:{i}" for i in range(8)]
+    assert CountingState.serializations == 1
+
+
+def test_header_decoded_once_per_worker_not_per_chunk():
+    """Every worker reports exactly one header load for the whole run.
+
+    Workers fork with the parent's load counter at some baseline; eight
+    single-shard chunks through two workers must each see baseline + 1 —
+    the memoized decode — never one load per chunk.
+    """
+    baseline = header_loads()
+    with WorkerPool(2) as pool:
+        results, _ = run_sharded(_report_header_loads,
+                                 [(i,) for i in range(8)], workers=2,
+                                 chunk_size=1, shared=("run-tag",),
+                                 pool=pool)
+    assert set(results) == {baseline + 1}
+
+
+def test_decode_header_memoizes_by_content():
+    loads_before = header_loads()
+    header = encode_header(_double, ("memo-test",))
+    first = decode_header(header)
+    assert decode_header(header) == first
+    # Cache hits return the stored object without touching pickle.
+    assert decode_header(header) is decode_header(header)
+    assert header_loads() == loads_before + 1
+    assert first[0] is _double
+    assert first[1] == ("memo-test",)
+
+
+def test_derived_state_builds_once_per_key():
+    digest = header_digest(b"derived-state-test")
+    calls = []
+
+    def build() -> str:
+        calls.append(1)
+        return "built"
+
+    assert derived_state(digest, "dataset", build) == "built"
+    assert derived_state(digest, "dataset", build) == "built"
+    assert len(calls) == 1
+    # A different tag under the same run digest builds separately.
+    assert derived_state(digest, "other", build) == "built"
+    assert len(calls) == 2
+
+
+def test_worker_caches_stay_bounded():
+    for i in range(6):
+        decode_header(encode_header(_double, (f"evict-{i}",)))
+    assert len(pool_mod._HEADER_CACHE) <= pool_mod._CACHE_KEEP
+
+
+def test_encode_shard_args_roundtrip_and_payload_is_compact():
+    blob = encode_shard_args((3, 17), 3)
+    assert pickle.loads(blob) == (3, 17)
+    # Index-and-bound specs are tens of bytes — the structural guarantee
+    # that record lists no longer cross the pool boundary.
+    assert len(blob) < 64
