@@ -5,6 +5,7 @@ Usage::
 
     python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.25]
     python benchmarks/compare_bench.py NEW.json --check-speedup
+    python benchmarks/compare_bench.py BENCH_datasets.json --check-columnar
 
 Both files are the ``name -> {metric: value}`` shape the bench fixtures
 write (``BENCH_engine.json``, ``BENCH_hotpath.json``).  Every numeric
@@ -23,6 +24,15 @@ field the engine bench writes) cannot physically demonstrate parallel
 speedup, so it is held only to ``--low-cpu-floor`` — a no-pessimization
 bound that still catches the ship-everything-through-pickle failure mode
 (which measured ~0.2x) without pretending a 1-core container can scale.
+
+``--check-columnar`` gates the columnar-store samples
+(``BENCH_datasets.json``): every sample carrying both replay rates must
+clear ``columnar_replay_rps / object_replay_rps >=
+--min-columnar-speedup`` (default 3.0) and ``columnar_bytes_per_row /
+jsonl_bytes_per_row <= --max-bytes-ratio`` (default 0.5) — the
+acceptance bars the columnar substrate shipped under.  Unlike the
+parallel gate this one is not CPU-gated: both pipelines are
+single-threaded, so a slow host slows them together.
 """
 
 from __future__ import annotations
@@ -151,6 +161,54 @@ def check_speedup(doc: Dict, min_speedup: float = MIN_SPEEDUP,
     return lines, failures
 
 
+#: Default columnar-substrate requirements (see ``check_columnar``).
+MIN_COLUMNAR_SPEEDUP = 3.0
+MAX_BYTES_RATIO = 0.5
+
+
+def check_columnar(doc: Dict, min_speedup: float = MIN_COLUMNAR_SPEEDUP,
+                   max_bytes_ratio: float = MAX_BYTES_RATIO
+                   ) -> Tuple[List[str], List[str]]:
+    """Gate every columnar sample in a ``BENCH_datasets.json`` document.
+
+    Returns ``(report_lines, failures)``.  A sample participates when it
+    records both ``object_replay_rps`` and ``columnar_replay_rps``; the
+    bytes-per-row bound additionally needs both ``*_bytes_per_row``
+    fields.  Samples missing the fields are skipped, not failed, so the
+    file can host unrelated dataset metrics.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    for bench, metrics in sorted(doc.items()):
+        if not isinstance(metrics, dict):
+            continue
+        object_rps = metrics.get("object_replay_rps")
+        columnar_rps = metrics.get("columnar_replay_rps")
+        if isinstance(object_rps, (int, float)) and object_rps > 0 \
+                and isinstance(columnar_rps, (int, float)):
+            ratio = float(columnar_rps) / float(object_rps)
+            entry = (f"{bench}: columnar/object replay = {ratio:.2f}x "
+                     f"(required >= {min_speedup:.2f}x)")
+            if ratio < min_speedup:
+                failures.append(entry)
+                lines.append(f"  FAIL     {entry}")
+            else:
+                lines.append(f"  ok       {entry}")
+        jsonl_bpr = metrics.get("jsonl_bytes_per_row")
+        columnar_bpr = metrics.get("columnar_bytes_per_row")
+        if isinstance(jsonl_bpr, (int, float)) and jsonl_bpr > 0 \
+                and isinstance(columnar_bpr, (int, float)):
+            ratio = float(columnar_bpr) / float(jsonl_bpr)
+            entry = (f"{bench}: columnar/jsonl bytes per row = {ratio:.3f} "
+                     f"(required <= {max_bytes_ratio:.2f})")
+            if ratio > max_bytes_ratio:
+                failures.append(entry)
+                lines.append(f"  FAIL     {entry}")
+            else:
+                lines.append(f"  ok       {entry}")
+    return lines, failures
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("old", type=Path, help="baseline BENCH_*.json "
@@ -172,6 +230,17 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--speedup-cpus", type=int, default=SPEEDUP_CPUS,
                         help=f"cores needed before the full speedup gate "
                         f"applies (default {SPEEDUP_CPUS})")
+    parser.add_argument("--check-columnar", action="store_true",
+                        help="also gate columnar replay speedup and "
+                        "bytes/row ratio in the candidate (or sole) file")
+    parser.add_argument("--min-columnar-speedup", type=float,
+                        default=MIN_COLUMNAR_SPEEDUP,
+                        help=f"required columnar/object replay throughput "
+                        f"ratio (default {MIN_COLUMNAR_SPEEDUP})")
+    parser.add_argument("--max-bytes-ratio", type=float,
+                        default=MAX_BYTES_RATIO,
+                        help=f"max columnar/jsonl bytes-per-row ratio "
+                        f"(default {MAX_BYTES_RATIO})")
     args = parser.parse_args(argv)
 
     failed = False
@@ -191,8 +260,9 @@ def main(argv: List[str] = None) -> int:
             failed = True
         else:
             print("\nno throughput regressions")
-    elif not args.check_speedup:
-        parser.error("a candidate file or --check-speedup is required")
+    elif not (args.check_speedup or args.check_columnar):
+        parser.error("a candidate file, --check-speedup or "
+                     "--check-columnar is required")
 
     if args.check_speedup:
         candidate = json.loads(Path(candidate_path).read_text())
@@ -211,6 +281,24 @@ def main(argv: List[str] = None) -> int:
             print("\nspeedup gate passed")
         else:
             print("\nno workersN/workers1 pairs found")
+
+    if args.check_columnar:
+        candidate = json.loads(Path(candidate_path).read_text())
+        lines, failures = check_columnar(candidate,
+                                         args.min_columnar_speedup,
+                                         args.max_bytes_ratio)
+        print(f"columnar gate on {candidate_path} "
+              f"(replay >= {args.min_columnar_speedup:.2f}x, "
+              f"bytes/row <= {args.max_bytes_ratio:.2f}x)")
+        for line in lines:
+            print(line)
+        if failures:
+            print(f"\n{len(failures)} columnar gate failure(s)")
+            failed = True
+        elif lines:
+            print("\ncolumnar gate passed")
+        else:
+            print("\nno columnar samples found")
 
     return 1 if failed else 0
 

@@ -30,6 +30,10 @@ BENCH_HOTPATH_JSON = RESULTS_DIR / "BENCH_hotpath.json"
 #: traced rec/s on the batched replay path).
 BENCH_OBS_JSON = RESULTS_DIR / "BENCH_obs.json"
 
+#: Where the columnar-store numbers land (object vs columnar replay
+#: rec/s, on-disk and resident bytes/row per format).
+BENCH_DATASETS_JSON = RESULTS_DIR / "BENCH_datasets.json"
+
 
 def pytest_collection_modifyitems(items) -> None:
     """Mark everything under benchmarks/ so ``-m "not bench"`` skips it.
@@ -92,6 +96,24 @@ def obs_bench(report_dir):
     if samples:
         BENCH_OBS_JSON.write_text(json.dumps(samples, indent=2,
                                              sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def datasets_bench(report_dir):
+    """Collects columnar-store samples; written to BENCH_datasets.json.
+
+    Each sample is ``name -> {rows, object_replay_rps,
+    columnar_replay_rps, columnar_speedup, jsonl_bytes_per_row,
+    columnar_bytes_per_row, bytes_ratio, ...}`` — the JSONL-parse replay
+    pipeline versus the mmap'd columnar pipeline over the same trace.
+    ``compare_bench.py --check-columnar`` gates on the speedup and the
+    bytes ratio.
+    """
+    samples = {}
+    yield samples
+    if samples:
+        BENCH_DATASETS_JSON.write_text(json.dumps(samples, indent=2,
+                                                  sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

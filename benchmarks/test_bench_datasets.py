@@ -1,12 +1,27 @@
-"""Section 4 — dataset summary statistics.
+"""Section 4 — dataset summary statistics and the columnar substrate.
 
 Regenerates the four datasets and prints the paper-vs-measured summary
-counts (scaled by the generators' scale factors).
+counts (scaled by the generators' scale factors).  The columnar
+benchmarks time the two replay pipelines over the same trace — JSONL
+parse → record objects → ``replay_partial_batched`` versus mmap'd
+columns → ``replay_partial_columns`` — assert identical results, and
+record throughput plus on-disk/resident bytes per row into
+``BENCH_datasets.json`` (gated by ``compare_bench.py --check-columnar``).
 """
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
 
 from repro.analysis import (summarize_allnames, summarize_cdn,
                             summarize_public_cdn, summarize_scan)
+from repro.analysis.cache_sim import (replay_partial_batched,
+                                      replay_partial_columns)
 from repro.datasets import AllNamesBuilder, CdnDatasetBuilder
+from repro.datasets.columnar import ColumnarStore, write_columnar
+from repro.datasets.records import read_jsonl, write_jsonl
 
 
 def test_bench_cdn_dataset_generation(benchmark, save_report):
@@ -48,3 +63,81 @@ def test_bench_public_cdn_summary(public_cdn_dataset, benchmark,
                               rounds=1, iterations=1)
     save_report("section4_public_cdn", text)
     assert all(r.scope > 0 for r in public_cdn_dataset.records[:1000])
+
+
+# ---------------------------------------------------------------------------
+# Columnar substrate: replay throughput and storage density per format.
+
+
+def _resident_object_bytes(path, record_type) -> int:
+    """Peak allocation of materializing the trace as record objects."""
+    tracemalloc.start()
+    records = read_jsonl(path, record_type)
+    size, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del records
+    return size
+
+
+def _bench_columnar_case(datasets_bench, name, records, client_field,
+                         tmp_path) -> None:
+    record_type = type(records[0])
+    jsonl_path = tmp_path / f"{name}.jsonl"
+    col_path = tmp_path / f"{name}.col"
+    write_jsonl(records, jsonl_path)
+    write_columnar(records, col_path, name)
+    rows = len(records)
+
+    # Object pipeline: parse JSONL into record objects, then replay.
+    start = time.perf_counter()
+    parsed = read_jsonl(jsonl_path, record_type)
+    object_partial = replay_partial_batched(parsed, client_field)
+    object_seconds = time.perf_counter() - start
+
+    # Columnar pipeline: map the file, replay straight off the columns.
+    start = time.perf_counter()
+    with ColumnarStore.open(col_path) as store:
+        columnar_partial = replay_partial_columns(store, client_field)
+        columnar_seconds = time.perf_counter() - start
+        resident_columnar = store.nbytes
+
+    assert columnar_partial == object_partial
+
+    object_rps = rows / object_seconds if object_seconds else 0.0
+    columnar_rps = rows / columnar_seconds if columnar_seconds else 0.0
+    speedup = columnar_rps / object_rps if object_rps else 0.0
+    jsonl_bpr = jsonl_path.stat().st_size / rows
+    columnar_bpr = col_path.stat().st_size / rows
+    datasets_bench[name] = {
+        "rows": rows,
+        "object_replay_rps": round(object_rps, 1),
+        "columnar_replay_rps": round(columnar_rps, 1),
+        "columnar_speedup": round(speedup, 2),
+        "jsonl_bytes_per_row": round(jsonl_bpr, 2),
+        "columnar_bytes_per_row": round(columnar_bpr, 2),
+        "bytes_ratio": round(columnar_bpr / jsonl_bpr, 3),
+        "object_resident_bytes_per_row": round(
+            _resident_object_bytes(jsonl_path, record_type) / rows, 1),
+        "columnar_resident_bytes_per_row": round(resident_columnar / rows,
+                                                 1),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    # The acceptance bars this PR ships under: ≥3x replay throughput,
+    # ≤0.5x on-disk bytes per row.  Keep them in-bench so a regression
+    # fails here even before the compare_bench gate sees the JSON.
+    assert speedup >= 3.0, datasets_bench[name]
+    assert columnar_bpr / jsonl_bpr <= 0.5, datasets_bench[name]
+
+
+def test_bench_columnar_replay_allnames(allnames_dataset, datasets_bench,
+                                        tmp_path):
+    _bench_columnar_case(datasets_bench, "allnames",
+                         list(allnames_dataset.records), "client_ip",
+                         tmp_path)
+
+
+def test_bench_columnar_replay_public_cdn(public_cdn_dataset, datasets_bench,
+                                          tmp_path):
+    _bench_columnar_case(datasets_bench, "public-cdn",
+                         list(public_cdn_dataset.records), "ecs_address",
+                         tmp_path)

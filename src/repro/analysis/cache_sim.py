@@ -9,15 +9,21 @@ the ratio of the peak cache size with ECS to the peak size without.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass
 from operator import attrgetter
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from ..core.cache import ScopeTracker
 from ..datasets.allnames import AllNamesDataset
 from ..datasets.public_cdn import PublicCdnDataset
 from ..datasets.records import AllNamesRecord, PublicCdnRecord
+from ..net.addr import _MASKS_BY_VERSION, parse_addr
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (datasets -> net)
+    from ..datasets.columnar import ColumnarStore
 
 
 @dataclass
@@ -139,6 +145,104 @@ def replay_partial_batched(records: Iterable, client_field: str,
             plain_access(ts, qname, qtype, None, 0, ttl)
     return ReplayPartial(ecs.hits, ecs.misses, plain.hits, plain.misses,
                          ecs.max_size, plain.max_size)
+
+
+def replay_partial_columns(store: "ColumnarStore", client_field: str,
+                           rows: Optional[Iterable[int]] = None,
+                           scope_field: str = "scope",
+                           ttl_field: str = "ttl",
+                           ttl_override: Optional[float] = None
+                           ) -> ReplayPartial:
+    """Columnar fast lane: replay packed columns, no record objects.
+
+    Counter-identical to :func:`replay_partial_batched` over
+    ``store.to_records()`` by construction — the equivalence suite pins
+    it — because it inlines :meth:`ScopeTracker.access` exactly:
+    purge-then-lookup, a hit iff the stored expiry exceeds ``now``, and
+    the peak updated only after an insert.  Two structural swaps buy the
+    speed without touching semantics:
+
+    * cache keys use *dictionary codes* instead of strings.  Dictionary
+      encoding is a bijection within one store, so ``(qcode, qtype, …)``
+      keys collide exactly when the string keys would, and every counter
+      is unchanged.  Client addresses parse once per dictionary entry
+      (one :func:`repro.net.addr.parse_addr` per unique client, not per
+      row), and prefix truncation is one table-mask AND per miss.
+    * the row loop walks typed memoryviews (or ``rows``, an iterable of
+      row indices — e.g. one qname bucket of
+      :meth:`~repro.datasets.columnar.ColumnarStore.row_buckets`), so
+      per-row cost is integer indexing instead of attribute access on
+      materialized objects.
+    """
+    ts_col = store.column("ts")
+    qname_col = store.column("qname")
+    qtype_col = store.column("qtype")
+    client_col = store.column(client_field)
+    scope_col = store.column(scope_field)
+    ttl_col = store.column(ttl_field)
+    #: code -> (version, value, mask table), hoisted out of the row loop.
+    parsed = []
+    for address in store.dictionary(client_field):
+        version, value = parse_addr(address)
+        parsed.append((version, value, _MASKS_BY_VERSION[version]))
+
+    ecs_expiry: Dict[tuple, float] = {}
+    plain_expiry: Dict[tuple, float] = {}
+    ecs_heap: List[Tuple[float, tuple]] = []
+    plain_heap: List[Tuple[float, tuple]] = []
+    heappush, heappop = heapq.heappush, heapq.heappop
+    hits_ecs = misses_ecs = hits_no_ecs = misses_no_ecs = 0
+    max_ecs = max_plain = 0
+
+    if rows is None:
+        rows = range(store.rows)
+    for row in rows:
+        now = ts_col[row]
+        qcode = qname_col[row]
+        qtype = qtype_col[row]
+        scope = scope_col[row]
+        ttl = ttl_col[row] if ttl_override is None else ttl_override
+
+        # ECS cache: purge, then lookup, then insert on miss.
+        while ecs_heap and ecs_heap[0][0] <= now:
+            expiry, key = heappop(ecs_heap)
+            current = ecs_expiry.get(key)
+            if current is not None and current <= now:
+                del ecs_expiry[key]
+        if scope == 0:
+            key = (qcode, qtype)
+        else:
+            version, value, masks = parsed[client_col[row]]
+            key = (qcode, qtype, version, scope, value & masks[scope])
+        expiry_now = ecs_expiry.get(key)
+        if expiry_now is not None and expiry_now > now:
+            hits_ecs += 1
+        else:
+            misses_ecs += 1
+            ecs_expiry[key] = now + ttl
+            heappush(ecs_heap, (now + ttl, key))
+            if len(ecs_expiry) > max_ecs:
+                max_ecs = len(ecs_expiry)
+
+        # Plain cache: same sequence with the scope-free key.
+        while plain_heap and plain_heap[0][0] <= now:
+            expiry, key = heappop(plain_heap)
+            current = plain_expiry.get(key)
+            if current is not None and current <= now:
+                del plain_expiry[key]
+        key = (qcode, qtype)
+        expiry_now = plain_expiry.get(key)
+        if expiry_now is not None and expiry_now > now:
+            hits_no_ecs += 1
+        else:
+            misses_no_ecs += 1
+            plain_expiry[key] = now + ttl
+            heappush(plain_heap, (now + ttl, key))
+            if len(plain_expiry) > max_plain:
+                max_plain = len(plain_expiry)
+
+    return ReplayPartial(hits_ecs, misses_ecs, hits_no_ecs, misses_no_ecs,
+                         max_ecs, max_plain)
 
 
 def merge_partials(partials: Iterable[ReplayPartial]) -> ReplayResult:

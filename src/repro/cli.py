@@ -12,8 +12,10 @@ census      classify a CDN-vantage resolver population (sections 6.1/6.2)
 caching     run the section 6.3 twin-query caching experiment
 blowup      the section 7 cache replays (Figures 1–3)
 pitfalls    the section 8 labs (Table 2, Figures 6–8)
-generate    write a synthetic dataset to a JSONL trace file
-replay      run the section 7 cache replay over a saved JSONL trace
+generate    write a synthetic dataset to a trace file (JSONL or columnar)
+replay      run the section 7 cache replay over a saved trace
+convert     convert a trace between JSONL and the columnar format
+dataset     inspect an on-disk trace file (``dataset info FILE``)
 chaos       run the scan campaign under a fault-injection preset
 all         every analysis command, sequentially
 lint        run the repro.staticcheck invariant linter (RS001-RS100)
@@ -48,12 +50,14 @@ from .analysis.mapping_quality import (MappingQualityLab,
                                        measure_mapping_quality)
 from .analysis.unroutable import UnroutableLab
 from .datasets import CdnDatasetBuilder, ScanUniverseBuilder
+from .datasets.columnar import (SCHEMAS, columnar_to_jsonl, file_info,
+                                is_columnar, jsonl_to_columnar)
 from .datasets.ditl import generate_root_trace
 from .engine import (DEFAULT_SHARDS, POOL_MODES, ShardSpec, WorkerPool,
                      generate_dataset_spec, generate_jsonl)
 from .engine import pool as engine_pool
 from .engine.executor import EngineReport
-from .engine.replay import replay_jsonl_sharded
+from .engine.replay import replay_columnar_sharded, replay_jsonl_sharded
 from .faults.chaos import run_chaos
 from .faults.presets import preset, preset_names
 from .measure import Scanner
@@ -211,24 +215,95 @@ def cmd_generate(args: argparse.Namespace, reporter: _Reporter) -> None:
         spec = ShardSpec.create(args.dataset, shard_count=args.shards,
                                 scale=args.scale, seed=args.seed,
                                 duration_s=args.hours * 3600.0)
-    count, engine_report = generate_jsonl(
-        spec, args.file, workers=args.workers, chunk_size=args.chunk_size)
+    if args.format == "columnar":
+        from .engine import generate_columnar
+        count, engine_report = generate_columnar(
+            spec, args.file, workers=args.workers,
+            chunk_size=args.chunk_size)
+    else:
+        count, engine_report = generate_jsonl(
+            spec, args.file, workers=args.workers,
+            chunk_size=args.chunk_size)
     reporter.engine(engine_report)
     reporter.note(f"wrote {count} {args.dataset} records to {args.file}")
 
 
+def cmd_convert(args: argparse.Namespace, reporter: _Reporter) -> None:
+    """Convert a trace between JSONL and the columnar format.
+
+    The direction is auto-detected from the source file's magic unless
+    ``--to`` forces it; both directions stream record by record, so
+    conversion memory stays flat.  JSONL -> columnar -> JSONL
+    round-trips byte-identically.
+    """
+    target = args.to
+    if target == "auto":
+        target = "jsonl" if is_columnar(args.src) else "columnar"
+    if target == "columnar":
+        count = jsonl_to_columnar(args.src, args.dst, args.dataset)
+    else:
+        count = columnar_to_jsonl(args.src, args.dst)
+    reporter.note(f"converted {count} {args.dataset} records: "
+                  f"{args.src} -> {args.dst} ({target})")
+
+
+def cmd_dataset(args: argparse.Namespace, reporter: _Reporter) -> None:
+    """Inspect an on-disk dataset file (``dataset info FILE``).
+
+    For a columnar trace the report comes from the header alone — no
+    segment is read — and breaks the footprint down per column; for a
+    JSONL trace it falls back to line/byte counts.
+    """
+    path = Path(args.file)
+    if is_columnar(path):
+        info = file_info(path)
+        rows = [("schema", info["schema"]),
+                ("format version", info["version"]),
+                ("rows", info["rows"]),
+                ("file bytes", info["file_bytes"]),
+                ("bytes/row", round(info["bytes_per_row"], 2)),
+                ("header bytes", info["header_bytes"])]
+        reporter.emit("dataset_info", format_table(
+            ("property", "value"), rows,
+            title=f"Columnar trace {path}"))
+        reporter.emit("dataset_columns", format_table(
+            ("column", "kind", "data B", "null B", "dict B", "dict entries"),
+            [(c["name"], c["kind"], c["data_bytes"], c["null_bytes"],
+              c["dict_bytes"], c["dict_entries"])
+             for c in info["columns"]],
+            title="Per-column segments"))
+    else:
+        size = path.stat().st_size
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = sum(1 for line in fh if line.strip())
+        reporter.emit("dataset_info", format_table(
+            ("property", "value"),
+            [("format", "jsonl"), ("records", lines),
+             ("file bytes", size),
+             ("bytes/row", round(size / lines, 2) if lines else 0.0)],
+            title=f"JSONL trace {path}"))
+
+
 def cmd_replay(args: argparse.Namespace, reporter: _Reporter) -> None:
-    """Run the section 7 cache replay over a saved JSONL trace.
+    """Run the section 7 cache replay over a saved trace.
 
     The trace is partitioned by qname into ``--shards`` shards replayed
     on ``--workers`` processes; per-shard partials merge into one
-    result, byte-identical for any worker count.  The parent routes raw
-    JSONL lines to shards; workers parse and replay their own lines, so
-    record objects never cross the pool boundary.
+    result, byte-identical for any worker count.  The file format is
+    auto-detected: for a columnar trace every worker mmaps the same
+    file and replays packed columns; for JSONL the parent routes raw
+    lines and workers parse their own shard.  Either way no record
+    objects cross the pool boundary, and both formats of one trace
+    render the identical report.
     """
-    result, engine_report = replay_jsonl_sharded(
-        args.file, args.dataset, shards=args.shards, workers=args.workers,
-        chunk_size=args.chunk_size)
+    if is_columnar(args.file):
+        result, engine_report = replay_columnar_sharded(
+            args.file, args.dataset, shards=args.shards,
+            workers=args.workers, chunk_size=args.chunk_size)
+    else:
+        result, engine_report = replay_jsonl_sharded(
+            args.file, args.dataset, shards=args.shards,
+            workers=args.workers, chunk_size=args.chunk_size)
     reporter.engine(engine_report)
     reporter.emit("replay", format_table(
         ("metric", "value"),
@@ -271,6 +346,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace, _Reporter], None]] = {
     **_ANALYSIS_COMMANDS,
     "generate": cmd_generate,
     "replay": cmd_replay,
+    "convert": cmd_convert,
+    "dataset": cmd_dataset,
     "chaos": cmd_chaos,
 }
 
@@ -360,13 +437,38 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("file", help="output JSONL path")
     generate.add_argument("--scale", type=float, default=0.05)
     generate.add_argument("--hours", type=float, default=1.0)
+    generate.add_argument("--format", choices=("jsonl", "columnar"),
+                          default="jsonl",
+                          help="output trace format (columnar: packed "
+                               "columns, mmap-able, ~2.5x smaller)")
     add_engine_flags(generate)
 
     replay_cmd = sub.add_parser("replay",
                                 help="cache replay over a saved trace")
     replay_cmd.add_argument("dataset", choices=("allnames", "public-cdn"))
-    replay_cmd.add_argument("file", help="input JSONL path")
+    replay_cmd.add_argument("file",
+                            help="input trace path (JSONL or columnar; "
+                                 "auto-detected)")
     add_engine_flags(replay_cmd)
+
+    convert = sub.add_parser(
+        "convert", help="convert a trace between JSONL and columnar")
+    convert.add_argument("dataset", choices=sorted(SCHEMAS),
+                         help="record schema of the trace")
+    convert.add_argument("src", help="input trace path")
+    convert.add_argument("dst", help="output trace path")
+    convert.add_argument("--to", choices=("auto", "columnar", "jsonl"),
+                         default="auto",
+                         help="target format (auto: the opposite of "
+                              "what src is)")
+
+    dataset_cmd = sub.add_parser(
+        "dataset", help="inspect an on-disk dataset file")
+    dataset_sub = dataset_cmd.add_subparsers(dest="dataset_action",
+                                             required=True)
+    dataset_info = dataset_sub.add_parser(
+        "info", help="describe a trace file (columnar: header only)")
+    dataset_info.add_argument("file", help="trace path (JSONL or columnar)")
 
     chaos = sub.add_parser(
         "chaos", help="scan campaign under fault injection (repro.faults)")

@@ -3,6 +3,10 @@
 from . import paper_numbers
 from .allnames import AllNamesBuilder, AllNamesDataset
 from .cdn_dataset import CdnDataset, CdnDatasetBuilder, ResolverSpec
+from .columnar import (SCHEMAS, ColumnarStats, ColumnarStore, ColumnarWriter,
+                       columnar_to_jsonl, concat_columnar_shards, file_info,
+                       is_columnar, jsonl_to_columnar, merge_columnar_shards,
+                       read_columnar, schema_for, write_columnar)
 from .ditl import RootTrace, RootTraceBuilder, generate_root_trace
 from .public_cdn import PublicCdnBuilder, PublicCdnDataset
 from .records import (AllNamesRecord, CdnQueryRecord, PublicCdnRecord,
@@ -18,11 +22,15 @@ from .workload import (ClientPopulation, HostnameUniverse, SldPolicy,
 __all__ = [
     "AllNamesBuilder", "AllNamesDataset", "AllNamesRecord", "CdnDataset",
     "CdnDatasetBuilder", "CdnQueryRecord", "ChainSpec", "ClientPopulation",
-    "EgressSpec", "HostnameUniverse", "PublicCdnBuilder", "PublicCdnDataset",
+    "ColumnarStats", "ColumnarStore", "ColumnarWriter", "EgressSpec",
+    "HostnameUniverse", "PublicCdnBuilder", "PublicCdnDataset",
     "PublicCdnRecord", "ResolverSpec", "RootQueryRecord", "RootTrace",
-    "RootTraceBuilder", "ScanQueryRecord", "ScanUniverse",
+    "RootTraceBuilder", "SCHEMAS", "ScanQueryRecord", "ScanUniverse",
     "ScanUniverseBuilder", "SldPolicy", "ZipfSampler", "assign_sld_policies",
-    "generate_root_trace", "iter_jsonl", "merge_jsonl_shards",
-    "merge_sorted_records", "paper_numbers", "poisson_arrivals", "read_jsonl",
-    "shard_path", "write_csv", "write_jsonl", "write_jsonl_shards",
+    "columnar_to_jsonl", "concat_columnar_shards", "file_info",
+    "generate_root_trace", "is_columnar", "iter_jsonl", "jsonl_to_columnar",
+    "merge_columnar_shards", "merge_jsonl_shards", "merge_sorted_records",
+    "paper_numbers", "poisson_arrivals", "read_columnar", "read_jsonl",
+    "schema_for", "shard_path", "write_columnar", "write_csv", "write_jsonl",
+    "write_jsonl_shards",
 ]

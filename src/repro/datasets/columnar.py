@@ -1,0 +1,763 @@
+"""Columnar, mmap-able storage for the trace record schemas.
+
+The paper's real datasets are 1.5B (All-Names) and 3.8B (CDN) queries;
+Python-object record lists cap out far below that.  This module stores a
+trace as *columns* instead: one struct-packed :mod:`array` per numeric
+field, a dictionary-encoded code column per string field (qnames,
+resolver and client IPs repeat constantly in DNS traces), and a packed
+null bitmap per Optional field.  The on-disk format is a versioned
+header plus raw per-column segments, so an opened file is a single
+:func:`mmap.mmap` and every column is a zero-copy ``memoryview.cast``
+into it — workers replaying shards of one trace map the same file and
+share its pages instead of pickling records or re-parsing JSONL.
+
+Layout of a ``.col`` file::
+
+    offset 0   MAGIC            b"RPRCOL01" (8 bytes)
+    offset 8   header length    u32, little-endian
+    offset 12  header           UTF-8 JSON (schema name, row count,
+                                per-column segment table)
+    ...        segments         8-byte aligned; offsets in the header
+                                are relative to the first segment
+
+Per column the header records a ``data`` segment (the packed values —
+dictionary codes for string columns), an optional ``nulls`` segment
+(bitmap, bit ``i`` set when row ``i`` is None) and an optional ``dict``
+segment (the string dictionary as a JSON array, in code order).  The
+header is pure JSON so ``repro-ecs dataset info`` can describe a file
+without touching any segment.
+
+Everything here is deterministic: dictionaries assign codes in first-
+appearance order, merges are stable k-way merges keyed on ``(ts, shard
+index, row index)`` — the exact tie-break of
+:func:`repro.datasets.records.merge_jsonl_shards` — and no content ever
+depends on process or machine identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import json
+import mmap
+import struct
+from array import array
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Type, Union)
+
+from ..engine.sharding import stable_bucket
+from .records import (AllNamesRecord, CdnQueryRecord, PublicCdnRecord,
+                      RootQueryRecord, ScanQueryRecord, iter_jsonl,
+                      write_jsonl)
+
+#: File magic: format name + two-digit major version.
+MAGIC = b"RPRCOL01"
+#: Header ``version`` field; bump on any incompatible layout change.
+FORMAT_VERSION = 1
+#: Segment alignment, so typed memoryview casts are always aligned.
+ALIGN = 8
+
+#: Column kind -> :mod:`array` typecode.  ``str`` columns store u32
+#: dictionary codes; ``bool`` columns store u8 flags.
+KIND_TYPECODES: Dict[str, str] = {
+    "f8": "d",      # timestamps
+    "i4": "i",      # qtype / scope / prefix lengths
+    "i8": "q",      # TTLs and other wide counters
+    "bool": "B",
+    "str": "I",     # dictionary code
+}
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column of a record schema."""
+
+    name: str
+    kind: str
+    nullable: bool = False
+
+    @property
+    def typecode(self) -> str:
+        return KIND_TYPECODES[self.kind]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A record dataclass mapped onto columns, in field order."""
+
+    name: str
+    record_type: Type[Any]
+    columns: Tuple[ColumnSpec, ...]
+
+    def __post_init__(self) -> None:
+        fields = tuple(f.name for f in dataclasses.fields(self.record_type))
+        names = tuple(c.name for c in self.columns)
+        if fields != names:
+            raise ValueError(f"schema {self.name!r} columns {names} do not "
+                             f"match {self.record_type.__name__} fields "
+                             f"{fields}")
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+
+def _c(name: str, kind: str, nullable: bool = False) -> ColumnSpec:
+    return ColumnSpec(name, kind, nullable)
+
+
+#: The five trace schemas, keyed by the CLI/registry dataset names.
+SCHEMAS: Dict[str, Schema] = {s.name: s for s in (
+    Schema("allnames", AllNamesRecord, (
+        _c("ts", "f8"), _c("client_ip", "str"), _c("qname", "str"),
+        _c("qtype", "i4"), _c("scope", "i4"), _c("ttl", "i8"))),
+    Schema("public-cdn", PublicCdnRecord, (
+        _c("ts", "f8"), _c("resolver_ip", "str"), _c("qname", "str"),
+        _c("qtype", "i4"), _c("ecs_address", "str"),
+        _c("ecs_source_len", "i4"), _c("scope", "i4"), _c("ttl", "i8"))),
+    Schema("cdn", CdnQueryRecord, (
+        _c("ts", "f8"), _c("resolver_ip", "str"), _c("qname", "str"),
+        _c("qtype", "i4"), _c("has_ecs", "bool"),
+        _c("ecs_address", "str", nullable=True),
+        _c("ecs_source_len", "i4", nullable=True),
+        _c("ecs_scope", "i4", nullable=True), _c("ttl", "i8"))),
+    Schema("scan", ScanQueryRecord, (
+        _c("ts", "f8"), _c("ingress_ip", "str", nullable=True),
+        _c("egress_ip", "str"), _c("qname", "str"), _c("has_ecs", "bool"),
+        _c("ecs_address", "str", nullable=True),
+        _c("ecs_source_len", "i4", nullable=True))),
+    Schema("root-trace", RootQueryRecord, (
+        _c("ts", "f8"), _c("resolver_ip", "str"), _c("qname", "str"),
+        _c("qtype", "i4"), _c("has_ecs", "bool"))),
+)}
+
+
+def schema_for(dataset: Union[str, Type[Any], Any]) -> Schema:
+    """Resolve a schema from its name, record class, or a record instance."""
+    if isinstance(dataset, str):
+        try:
+            return SCHEMAS[dataset]
+        except KeyError:
+            raise KeyError(f"unknown columnar schema {dataset!r}; "
+                           f"known: {sorted(SCHEMAS)}") from None
+    cls = dataset if isinstance(dataset, type) else type(dataset)
+    for schema in SCHEMAS.values():
+        if schema.record_type is cls:
+            return schema
+    raise KeyError(f"no columnar schema for record type {cls.__name__!r}")
+
+
+@dataclass(frozen=True)
+class ColumnarStats:
+    """Size accounting for one store or shard, mergeable across shards.
+
+    Every field sums when shards are concatenated or merged, so shard
+    stats fold associatively into whole-trace stats (``dict_entries``
+    sums the per-shard dictionary sizes — an upper bound on the merged
+    dictionary, exact when shard dictionaries are disjoint).
+    """
+
+    rows: int = 0
+    data_bytes: int = 0
+    null_bytes: int = 0
+    dict_bytes: int = 0
+    dict_entries: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.null_bytes + self.dict_bytes
+
+    @property
+    def bytes_per_row(self) -> float:
+        return self.total_bytes / self.rows if self.rows else 0.0
+
+    def merge_segments(self, other: "ColumnarStats") -> "ColumnarStats":
+        """Fold another shard's stats in (field-wise sum)."""
+        return ColumnarStats(
+            self.rows + other.rows,
+            self.data_bytes + other.data_bytes,
+            self.null_bytes + other.null_bytes,
+            self.dict_bytes + other.dict_bytes,
+            self.dict_entries + other.dict_entries)
+
+
+def _align_pad(offset: int) -> int:
+    return (-offset) % ALIGN
+
+
+def _raw_bytes(column: Any) -> bytes:
+    """Packed bytes of a raw column (array or typed memoryview)."""
+    return column.tobytes()
+
+
+class ColumnarWriter:
+    """Streaming columnar builder: append records, then save or wrap.
+
+    Appending never touches disk; :meth:`save` serializes the columns in
+    one pass and :meth:`store` wraps them as an in-memory
+    :class:`ColumnarStore` without copying.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.rows = 0
+        self._arrays: Dict[str, "array[Any]"] = {
+            c.name: array(c.typecode) for c in schema.columns}
+        self._interns: Dict[str, Dict[str, int]] = {
+            c.name: {} for c in schema.columns if c.kind == "str"}
+        self._nulls: Dict[str, bytearray] = {
+            c.name: bytearray() for c in schema.columns if c.nullable}
+
+    def _intern(self, column: str, value: str) -> int:
+        codes = self._interns[column]
+        code = codes.get(value)
+        if code is None:
+            code = len(codes)
+            codes[value] = code
+        return code
+
+    def _set_null(self, column: str, row: int) -> None:
+        bitmap = self._nulls[column]
+        byte = row >> 3
+        if byte >= len(bitmap):
+            bitmap.extend(b"\x00" * (byte + 1 - len(bitmap)))
+        bitmap[byte] |= 1 << (row & 7)
+
+    def append_values(self, values: Sequence[Any]) -> None:
+        """Append one row given its field values in schema order."""
+        row = self.rows
+        for spec, value in zip(self.schema.columns, values):
+            arr = self._arrays[spec.name]
+            if value is None:
+                if not spec.nullable:
+                    raise ValueError(f"column {spec.name!r} of schema "
+                                     f"{self.schema.name!r} is not nullable")
+                self._set_null(spec.name, row)
+                arr.append(0)
+            elif spec.kind == "str":
+                arr.append(self._intern(spec.name, value))
+            elif spec.kind == "bool":
+                arr.append(1 if value else 0)
+            else:
+                arr.append(value)
+        self.rows = row + 1
+
+    def append(self, record: Any) -> None:
+        """Append one record (a dataclass instance of the schema's type)."""
+        self.append_values(tuple(getattr(record, name)
+                                 for name in self.schema.field_names))
+
+    def extend(self, records: Iterable[Any]) -> int:
+        """Append many records; returns how many were appended."""
+        before = self.rows
+        for record in records:
+            self.append(record)
+        return self.rows - before
+
+    def extend_store(self, store: "ColumnarStore") -> int:
+        """Concatenate another store's segments onto this writer.
+
+        The segment-level fast path for shard concatenation: numeric and
+        bool columns append their packed bytes wholesale; string columns
+        remap the incoming dictionary codes onto this writer's merged
+        dictionary (one lookup per *dictionary entry*, one integer per
+        row); null bitmaps re-pack at the new row offset.
+        """
+        if store.schema.name != self.schema.name:
+            raise ValueError(f"cannot concatenate schema "
+                             f"{store.schema.name!r} onto "
+                             f"{self.schema.name!r}")
+        base = self.rows
+        for spec in self.schema.columns:
+            raw = store.raw_column(spec.name)
+            arr = self._arrays[spec.name]
+            if spec.kind != "str":
+                arr.frombytes(_raw_bytes(raw))
+            else:
+                remap = [self._intern(spec.name, value)
+                         for value in store.dictionary(spec.name)]
+                if spec.nullable:
+                    null_of = store.null_checker(spec.name)
+                    arr.extend(0 if null_of(row) else remap[raw[row]]
+                               for row in range(store.rows))
+                else:
+                    arr.extend(remap[code] for code in raw)
+            if spec.nullable:
+                null_of = store.null_checker(spec.name)
+                for row in range(store.rows):
+                    if null_of(row):
+                        self._set_null(spec.name, base + row)
+        self.rows = base + store.rows
+        return store.rows
+
+    def _dict_list(self, column: str) -> List[str]:
+        # Insertion order == code order for the interning dicts.
+        return list(self._interns[column])
+
+    def store(self) -> "ColumnarStore":
+        """Wrap the accumulated columns as an in-memory store (no copy)."""
+        # Bitmaps grow lazily on _set_null; pad to full row coverage so
+        # readers can index any row's bit without a bounds check.
+        needed = (self.rows + 7) >> 3
+        for bitmap in self._nulls.values():
+            if len(bitmap) < needed:
+                bitmap.extend(b"\x00" * (needed - len(bitmap)))
+        nulls = {name: (bitmap, 0) for name, bitmap in self._nulls.items()}
+        return ColumnarStore(self.schema, self.rows, dict(self._arrays),
+                             nulls, {name: self._dict_list(name)
+                                     for name in self._interns})
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Serialize to ``path``; returns the number of rows written."""
+        return self.store().save(path)
+
+
+class ColumnarStore:
+    """A columnar trace: in memory, or zero-copy over an mmap'd file.
+
+    Opened stores keep one :func:`mmap.mmap` (or one bytes object with
+    ``use_mmap=False``) and expose every column as a typed
+    ``memoryview`` into it.  :meth:`slice` shares those buffers, so
+    row-range shards of one file cost O(1) memory each.
+    """
+
+    def __init__(self, schema: Schema, rows: int,
+                 data: Dict[str, Any],
+                 nulls: Dict[str, Tuple[Any, int]],
+                 dicts: Dict[str, List[str]],
+                 closer: Optional[Callable[[], None]] = None) -> None:
+        self.schema = schema
+        self.rows = rows
+        self._data = data
+        self._nulls = nulls
+        self._dicts = dicts
+        self._closer = closer
+        self._bucket_memo: Dict[Tuple[str, int], List["array[Any]"]] = {}
+        self._getter_cache: Optional[List[Callable[[int], Any]]] = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[Any],
+                     schema: Union[str, Schema]) -> "ColumnarStore":
+        """Columnarize an iterable of records (streaming, single pass)."""
+        resolved = schema if isinstance(schema, Schema) else schema_for(schema)
+        writer = ColumnarWriter(resolved)
+        writer.extend(records)
+        return writer.store()
+
+    @classmethod
+    def open(cls, path: Union[str, Path],
+             use_mmap: bool = True) -> "ColumnarStore":
+        """Open an on-disk store; columns are views into one mapping."""
+        fh = open(path, "rb")
+        try:
+            prelude = fh.read(12)
+            if len(prelude) < 12 or prelude[:8] != MAGIC:
+                raise ValueError(f"{path}: not a columnar trace "
+                                 f"(bad magic)")
+            (header_len,) = struct.unpack("<I", prelude[8:12])
+            header = json.loads(fh.read(header_len).decode("utf-8"))
+            if header.get("version") != FORMAT_VERSION:
+                raise ValueError(f"{path}: unsupported columnar format "
+                                 f"version {header.get('version')!r} "
+                                 f"(expected {FORMAT_VERSION})")
+            buf: Any
+            closer: Optional[Callable[[], None]]
+            if use_mmap:
+                mapping = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+                buf = memoryview(mapping)
+                closer = _make_closer(buf, mapping)
+            else:
+                fh.seek(0)
+                buf = memoryview(fh.read())
+                closer = None
+        finally:
+            fh.close()
+        schema = schema_for(header["schema"])
+        rows = int(header["rows"])
+        start = 12 + header_len + _align_pad(12 + header_len)
+        data: Dict[str, Any] = {}
+        nulls: Dict[str, Tuple[Any, int]] = {}
+        dicts: Dict[str, List[str]] = {}
+        for entry in header["columns"]:
+            name = entry["name"]
+            spec = next(c for c in schema.columns if c.name == name)
+            off, length = entry["data"]
+            data[name] = buf[start + off:start + off + length] \
+                .cast(spec.typecode)
+            if entry.get("nulls") is not None:
+                off, length = entry["nulls"]
+                nulls[name] = (buf[start + off:start + off + length], 0)
+            if entry.get("dict") is not None:
+                off, length = entry["dict"]
+                dicts[name] = json.loads(
+                    bytes(buf[start + off:start + off + length])
+                    .decode("utf-8"))
+        return cls(schema, rows, data, nulls, dicts, closer)
+
+    def close(self) -> None:
+        """Release the underlying mapping (no-op for in-memory stores).
+
+        Every column view is released first — an mmap cannot close while
+        exported buffers exist.  Live :meth:`slice` children keep their
+        own views, so close the parent only after its slices are done.
+        """
+        self._getter_cache = None
+        for view in self._data.values():
+            if isinstance(view, memoryview):
+                view.release()
+        for bitmap, _ in self._nulls.values():
+            if isinstance(bitmap, memoryview):
+                bitmap.release()
+        if self._closer is not None:
+            closer, self._closer = self._closer, None
+            closer()
+
+    def __enter__(self) -> "ColumnarStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self.rows
+
+    # -- serialization -----------------------------------------------------
+
+    def _null_bitmap_bytes(self, name: str) -> bytes:
+        """The column's null bitmap re-packed to bit offset zero."""
+        checker = self.null_checker(name)
+        bitmap = bytearray((self.rows + 7) >> 3)
+        for row in range(self.rows):
+            if checker(row):
+                bitmap[row >> 3] |= 1 << (row & 7)
+        return bytes(bitmap)
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Write the versioned header + aligned segments; returns rows."""
+        segments: List[bytes] = []
+        columns: List[Dict[str, Any]] = []
+        offset = 0
+
+        def add_segment(payload: bytes) -> Tuple[int, int]:
+            nonlocal offset
+            pad = _align_pad(offset)
+            if pad:
+                segments.append(b"\x00" * pad)
+                offset += pad
+            start = offset
+            segments.append(payload)
+            offset += len(payload)
+            return (start, len(payload))
+
+        for spec in self.schema.columns:
+            entry: Dict[str, Any] = {
+                "name": spec.name, "kind": spec.kind,
+                "typecode": spec.typecode,
+                "data": add_segment(_raw_bytes(self._data[spec.name])),
+                "nulls": None, "dict": None}
+            if spec.nullable:
+                entry["nulls"] = add_segment(
+                    self._null_bitmap_bytes(spec.name))
+            if spec.kind == "str":
+                dictionary = self._dicts.get(spec.name, [])
+                payload = json.dumps(dictionary, separators=(",", ":"),
+                                     ensure_ascii=False).encode("utf-8")
+                entry["dict"] = add_segment(payload)
+                entry["dict_entries"] = len(dictionary)
+            columns.append(entry)
+
+        header = json.dumps(
+            {"version": FORMAT_VERSION, "schema": self.schema.name,
+             "rows": self.rows, "columns": columns},
+            separators=(",", ":")).encode("utf-8")
+        with open(path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(struct.pack("<I", len(header)))
+            fh.write(header)
+            fh.write(b"\x00" * _align_pad(12 + len(header)))
+            for segment in segments:
+                fh.write(segment)
+        return self.rows
+
+    # -- column access -----------------------------------------------------
+
+    def raw_column(self, name: str) -> Any:
+        """The packed value sequence (dictionary codes for str columns)."""
+        return self._data[name]
+
+    def column(self, name: str) -> Any:
+        """Alias of :meth:`raw_column`; the replay hot path's entry."""
+        return self._data[name]
+
+    def dictionary(self, name: str) -> List[str]:
+        """Code -> string table of a dictionary-encoded column."""
+        return self._dicts[name]
+
+    def null_checker(self, name: str) -> Callable[[int], bool]:
+        """A ``row -> is-null`` predicate (always False when not nullable)."""
+        entry = self._nulls.get(name)
+        if entry is None:
+            return lambda row: False
+        bitmap, base = entry
+
+        def is_null(row: int) -> bool:
+            bit = base + row
+            return bool(bitmap[bit >> 3] & (1 << (bit & 7)))
+
+        return is_null
+
+    def _value_getter(self, spec: ColumnSpec) -> Callable[[int], Any]:
+        raw = self._data[spec.name]
+        if spec.kind == "str":
+            dictionary = self._dicts[spec.name]
+            plain: Callable[[int], Any] = lambda row: dictionary[raw[row]]
+        elif spec.kind == "bool":
+            plain = lambda row: bool(raw[row])
+        else:
+            plain = lambda row: raw[row]
+        if not spec.nullable:
+            return plain
+        null_of = self.null_checker(spec.name)
+        return lambda row: None if null_of(row) else plain(row)
+
+    def row_values(self, row: int) -> Tuple[Any, ...]:
+        """One row's decoded field values, in schema order."""
+        return tuple(g(row) for g in self._getters())
+
+    def _getters(self) -> List[Callable[[int], Any]]:
+        getters = self._getter_cache
+        if getters is None:
+            getters = [self._value_getter(spec)
+                       for spec in self.schema.columns]
+            self._getter_cache = getters
+        return getters
+
+    def record(self, row: int) -> Any:
+        """Materialize one row as its record dataclass."""
+        return self.schema.record_type(*self.row_values(row))
+
+    def iter_records(self, lo: int = 0,
+                     hi: Optional[int] = None) -> Iterator[Any]:
+        """Stream rows ``[lo, hi)`` as record instances."""
+        stop = self.rows if hi is None else hi
+        getters = self._getters()
+        cls = self.schema.record_type
+        for row in range(lo, stop):
+            yield cls(*[g(row) for g in getters])
+
+    def to_records(self) -> List[Any]:
+        """Materialize the whole store as a record list."""
+        return list(self.iter_records())
+
+    # -- shard arithmetic --------------------------------------------------
+
+    def slice(self, lo: int, hi: int) -> "ColumnarStore":
+        """Rows ``[lo, hi)`` as a store sharing this one's buffers.
+
+        Zero-copy: numeric columns are memoryview slices, dictionaries
+        are shared outright, and null bitmaps carry a bit offset instead
+        of being re-packed.  The parent store must stay open for the
+        slice's lifetime.
+        """
+        if not 0 <= lo <= hi <= self.rows:
+            raise ValueError(f"slice [{lo}, {hi}) out of range for "
+                             f"{self.rows} rows")
+        data = {name: (memoryview(col) if isinstance(col, array) else col)
+                [lo:hi] for name, col in self._data.items()}
+        # Each child gets its own bitmap *view* so closing one slice
+        # cannot release a buffer its siblings (or the parent) still use.
+        nulls = {name: (memoryview(bitmap) if isinstance(bitmap, memoryview)
+                        else bitmap, base + lo)
+                 for name, (bitmap, base) in self._nulls.items()}
+        return ColumnarStore(self.schema, hi - lo, data, nulls, self._dicts)
+
+    def row_buckets(self, column: str, shards: int) -> List["array[Any]"]:
+        """Row indices per :func:`stable_bucket` shard of a str column.
+
+        The bucket of every row is decided by its *dictionary entry*, so
+        the hash runs once per unique string, then bucketing the rows is
+        a table lookup per row.  Memoized per (column, shards): workers
+        replaying several shards of one mapped file pay the scan once.
+        """
+        memo_key = (column, shards)
+        buckets = self._bucket_memo.get(memo_key)
+        if buckets is None:
+            by_code = array("i", (stable_bucket(value, shards)
+                                  for value in self._dicts[column]))
+            buckets = [array("q") for _ in range(shards)]
+            appends = [bucket.append for bucket in buckets]
+            for row, code in enumerate(self._data[column]):
+                appends[by_code[code]](row)
+            self._bucket_memo[memo_key] = buckets
+        return buckets
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self) -> ColumnarStats:
+        """Byte/row accounting over the packed segments."""
+        data_bytes = sum(len(_raw_bytes(self._data[c.name]))
+                         for c in self.schema.columns)
+        null_bytes = sum((self.rows + 7) >> 3
+                         for c in self.schema.columns if c.nullable)
+        dict_bytes = 0
+        dict_entries = 0
+        for name, dictionary in self._dicts.items():
+            dict_entries += len(dictionary)
+            dict_bytes += len(json.dumps(dictionary, separators=(",", ":"),
+                                         ensure_ascii=False).encode("utf-8"))
+        return ColumnarStats(self.rows, data_bytes, null_bytes, dict_bytes,
+                             dict_entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the packed representation."""
+        return self.stats().total_bytes
+
+
+def _make_closer(view: memoryview, mapping: mmap.mmap
+                 ) -> Callable[[], None]:
+    def closer() -> None:
+        view.release()
+        mapping.close()
+
+    return closer
+
+
+# ---------------------------------------------------------------------------
+# File-level helpers
+
+
+def is_columnar(path: Union[str, Path]) -> bool:
+    """True when ``path`` starts with the columnar magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def file_info(path: Union[str, Path]) -> Dict[str, Any]:
+    """Describe a columnar file from its header alone (no segment reads)."""
+    target = Path(path)
+    with open(target, "rb") as fh:
+        prelude = fh.read(12)
+        if len(prelude) < 12 or prelude[:8] != MAGIC:
+            raise ValueError(f"{path}: not a columnar trace (bad magic)")
+        (header_len,) = struct.unpack("<I", prelude[8:12])
+        header = json.loads(fh.read(header_len).decode("utf-8"))
+    rows = int(header["rows"])
+    columns = []
+    for entry in header["columns"]:
+        data_bytes = entry["data"][1]
+        null_bytes = entry["nulls"][1] if entry.get("nulls") else 0
+        dict_bytes = entry["dict"][1] if entry.get("dict") else 0
+        columns.append({
+            "name": entry["name"], "kind": entry["kind"],
+            "typecode": entry["typecode"], "data_bytes": data_bytes,
+            "null_bytes": null_bytes, "dict_bytes": dict_bytes,
+            "dict_entries": entry.get("dict_entries", 0)})
+    file_bytes = target.stat().st_size
+    return {"path": str(target), "version": header["version"],
+            "schema": header["schema"], "rows": rows,
+            "header_bytes": header_len, "file_bytes": file_bytes,
+            "bytes_per_row": file_bytes / rows if rows else 0.0,
+            "columns": columns}
+
+
+def write_columnar(records: Iterable[Any], path: Union[str, Path],
+                   schema: Union[str, Schema]) -> int:
+    """Columnarize and save an iterable of records; returns the count."""
+    return ColumnarStore.from_records(records, schema).save(path)
+
+
+def read_columnar(path: Union[str, Path]) -> List[Any]:
+    """Load a columnar file back into a record list (convenience)."""
+    with ColumnarStore.open(path) as store:
+        return store.to_records()
+
+
+def jsonl_to_columnar(src: Union[str, Path], dst: Union[str, Path],
+                      schema: Union[str, Schema]) -> int:
+    """Convert a JSONL trace to columnar, streaming record by record."""
+    resolved = schema if isinstance(schema, Schema) else schema_for(schema)
+    writer = ColumnarWriter(resolved)
+    writer.extend(iter_jsonl(src, resolved.record_type))
+    writer.save(dst)
+    return writer.rows
+
+
+def columnar_to_jsonl(src: Union[str, Path],
+                      dst: Union[str, Path]) -> int:
+    """Convert a columnar trace back to JSONL, streaming row by row.
+
+    Round-trips byte-identically with :func:`jsonl_to_columnar` for any
+    trace the JSONL writers produced: values decode to the exact Python
+    objects the records held, and ``json.dumps`` is deterministic.
+    """
+    with ColumnarStore.open(src) as store:
+        return write_jsonl(store.iter_records(), dst)
+
+
+def merge_columnar_shards(paths: Sequence[Union[str, Path]],
+                          out_path: Union[str, Path],
+                          ts_column: str = "ts") -> int:
+    """Order-stable k-way merge of ts-sorted columnar shard files.
+
+    Rows merge by ``(ts, shard index, row index)`` — ties break toward
+    the earlier shard, exactly like
+    :func:`repro.datasets.records.merge_jsonl_shards` — so a columnar
+    generate merged this way holds the same canonical record order as
+    the JSONL route.  String columns re-intern into one merged
+    dictionary.  Returns the number of rows written.
+    """
+    stores = [ColumnarStore.open(p) for p in paths]
+    try:
+        schemas = {store.schema.name for store in stores}
+        if len(schemas) > 1:
+            raise ValueError(f"cannot merge mixed schemas: "
+                             f"{sorted(schemas)}")
+        writer = ColumnarWriter(stores[0].schema)
+
+        def stream(index: int,
+                   store: ColumnarStore) -> Iterator[Tuple[float, int, int]]:
+            ts_col = store.raw_column(ts_column)
+            for row in range(store.rows):
+                yield (ts_col[row], index, row)
+
+        for _, index, row in heapq.merge(*[stream(i, s)
+                                           for i, s in enumerate(stores)]):
+            writer.append_values(stores[index].row_values(row))
+        writer.save(out_path)
+        return writer.rows
+    finally:
+        for store in stores:
+            store.close()
+
+
+def concat_columnar_shards(paths: Sequence[Union[str, Path]],
+                           out_path: Union[str, Path]) -> int:
+    """Pure segment concatenation of shard files, in path order.
+
+    The cheap merge for shards that are already globally ordered (e.g.
+    contiguous time windows): numeric segments append bytewise, string
+    columns remap codes onto a merged dictionary, null bitmaps re-pack
+    at their new row offsets.  No per-row ordering pass.
+    """
+    stores = [ColumnarStore.open(p) for p in paths]
+    try:
+        schemas = {store.schema.name for store in stores}
+        if len(schemas) > 1:
+            raise ValueError(f"cannot concatenate mixed schemas: "
+                             f"{sorted(schemas)}")
+        writer = ColumnarWriter(stores[0].schema)
+        for store in stores:
+            writer.extend_store(store)
+        writer.save(out_path)
+        return writer.rows
+    finally:
+        for store in stores:
+            store.close()

@@ -37,6 +37,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, List, Optional, Protocol, Sequence, Tuple, Union
 
+from ..datasets.columnar import merge_columnar_shards, write_columnar
 from ..datasets.records import merge_jsonl_shards, shard_path, write_jsonl
 from ..obs import metrics as _obs_metrics
 from .executor import EngineReport, run_sharded
@@ -103,6 +104,18 @@ def _write_shard_from_spec(spec: ShardSpec, out_base: str,
     """
     records = _build_shard_from_spec(spec, shard_index)
     return write_jsonl(records, shard_path(out_base, shard_index))
+
+
+def _write_columnar_shard_from_spec(spec: ShardSpec, out_base: str,
+                                    schema: str, shard_index: int) -> int:
+    """Worker entry point: build one shard, write its columnar sibling.
+
+    The columnar twin of :func:`_write_shard_from_spec`: only the count
+    crosses the pool boundary; the packed segments wait on disk for the
+    parent's merge.
+    """
+    records = _build_shard_from_spec(spec, shard_index)
+    return write_columnar(records, shard_path(out_base, shard_index), schema)
 
 
 def generate_records(builder: ShardableBuilder,
@@ -198,4 +211,42 @@ def generate_jsonl(spec: ShardSpec, out_path: Union[str, Path],
     if total != sum(counts):
         raise RuntimeError(f"shard merge wrote {total} records, workers "
                            f"reported {sum(counts)}")
+    return total, report
+
+
+def generate_columnar(spec: ShardSpec, out_path: Union[str, Path],
+                      schema: Optional[str] = None, workers: int = 1,
+                      chunk_size: Optional[int] = None,
+                      pool: Optional[WorkerPool] = None
+                      ) -> Tuple[int, EngineReport]:
+    """Generate ``spec`` straight to a columnar trace at ``out_path``.
+
+    The columnar twin of :func:`generate_jsonl`: each worker writes its
+    shard as a packed ``<file>.shardNN`` columnar sibling, and the
+    parent merges the shard *segments* — a stable k-way merge on
+    ``(ts, shard index, row index)`` with dictionary re-interning
+    (:func:`repro.datasets.columnar.merge_columnar_shards`) — into one
+    file holding the same canonical record order as the JSONL route.
+    ``schema`` defaults to the spec's builder name; pass it explicitly
+    for builders registered outside :data:`SCHEMAS` whose records use
+    one of the standard schemas.  The merged file is byte-identical for
+    any (workers, chunk size, pool mode).  Returns ``(record count,
+    engine report)``.
+    """
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    schema_name = spec.builder if schema is None else schema
+    shard_args = [(i,) for i in range(spec.shard_count)]
+    counts, report = run_sharded(
+        _write_columnar_shard_from_spec, shard_args, workers=workers,
+        task=f"generate:{spec.builder}", chunk_size=chunk_size,
+        shared=(spec, str(out), schema_name), pool=pool,
+        count_of=lambda count: int(count))
+    paths = [shard_path(out, i) for i in range(spec.shard_count)]
+    total = merge_columnar_shards(paths, out)
+    for path in paths:
+        path.unlink()
+    if total != sum(counts):
+        raise RuntimeError(f"columnar shard merge wrote {total} records, "
+                           f"workers reported {sum(counts)}")
     return total, report

@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import functools
 import json
+import os
 import re
+import shutil
+import tempfile
 from operator import attrgetter
 from pathlib import Path
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
@@ -26,12 +29,15 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
 
 from ..analysis.cache_sim import (ReplayPartial, ReplayResult,
                                   merge_partials, replay_partial,
-                                  replay_partial_batched)
+                                  replay_partial_batched,
+                                  replay_partial_columns)
 from ..core.cache import ScopeTracker
+from ..datasets.columnar import ColumnarStore
 from ..datasets.records import AllNamesRecord, PublicCdnRecord
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs_trace
 from .executor import EngineReport, run_sharded
+from .generate import generate_columnar
 from .pool import WorkerPool
 from .sharding import (DEFAULT_SHARDS, ShardSpec, partition_by_key,
                        stable_bucket)
@@ -276,29 +282,83 @@ def replay_jsonl_sharded(path: Union[str, Path], kind: str,
     return merge_partials(partials), report
 
 
-@functools.lru_cache(maxsize=2)
-def _spec_buckets(spec: ShardSpec, kind: str,
-                  shards: int) -> Tuple[List[Any], ...]:
-    """Materialize ``spec``'s dataset and partition it by qname — once.
+# ---------------------------------------------------------------------------
+# Columnar dispatch: workers mmap one shared file.
 
-    Runs inside the worker (or inline in the parent) and is memoized, so
-    a worker that replays many shards of one run builds the dataset a
-    single time; with a persistent pool that is once per worker process
-    for the whole run.  Deterministic: the records depend only on the
-    spec, so a cache hit can never change output.
+
+@functools.lru_cache(maxsize=4)
+def _columnar_store_cached(path: str, size: int,
+                           mtime_ns: int) -> ColumnarStore:
+    """One mmap'd store per (path, stat identity), per process.
+
+    The per-worker dataset cache of the columnar paths: a worker
+    replaying several shards of one trace opens the mapping once, and
+    every worker maps the *same* file, so the OS shares the pages —
+    where the old spec-dispatch cache held a full per-worker record
+    list.  The stat identity keys out stale hits when a path is
+    rewritten (tests do this constantly with tmp files); deterministic
+    because the store's contents depend only on the file bytes.
     """
-    builder = spec.make_builder()
-    shard_lists = [builder.build_shard(i, spec.shard_count)
-                   for i in range(spec.shard_count)]
-    dataset = builder.assemble(shard_lists)
-    return tuple(partition_by_key(dataset.records, shards, _qname_of))
+    return ColumnarStore.open(path)
 
 
-def _replay_spec_shard(spec: ShardSpec, kind: str, shards: int,
-                       shard_index: int) -> ReplayPartial:
-    """Worker entry point: rebuild records from the spec, replay one shard."""
-    return _replay_shard(list(_spec_buckets(spec, kind, shards)[shard_index]),
-                         kind)
+def _columnar_store(path: str) -> ColumnarStore:
+    stat = os.stat(path)
+    return _columnar_store_cached(path, stat.st_size, stat.st_mtime_ns)
+
+
+def _replay_columnar_shard(path: str, kind: str, shards: int,
+                           bucket: int) -> ReplayPartial:
+    """Worker entry point: replay one qname bucket of a mapped trace.
+
+    The work unit crossing the pool boundary is ``(bucket,)`` plus the
+    shared ``(path, kind, shards)`` header — never rows.  Row selection
+    is the memoized per-store bucket table
+    (:meth:`~repro.datasets.columnar.ColumnarStore.row_buckets`), and
+    the hot loop is :func:`replay_partial_columns` straight over the
+    mapped columns.  With a tracer active the bucket's rows materialize
+    through the span-emitting twin instead, keeping traced counters
+    identical to every other path.
+    """
+    store = _columnar_store(path)
+    rows = store.row_buckets("qname", shards)[bucket]
+    tracer = _obs_trace.ACTIVE
+    if tracer is not None:
+        partial = _replay_shard_traced(tracer,
+                                       [store.record(row) for row in rows],
+                                       kind)
+    else:
+        partial = replay_partial_columns(store, CLIENT_FIELDS[kind],
+                                         rows=rows)
+    reg = _obs_metrics.ACTIVE
+    if reg is not None:
+        _record_replay_metrics(reg, kind, partial)
+    return partial
+
+
+def replay_columnar_sharded(path: Union[str, Path], kind: str,
+                            shards: int = DEFAULT_SHARDS, workers: int = 1,
+                            chunk_size: Optional[int] = None,
+                            pool: Optional[WorkerPool] = None
+                            ) -> Tuple[ReplayResult, EngineReport]:
+    """Replay a columnar trace; every worker mmaps the same file.
+
+    The zero-copy counterpart of :func:`replay_jsonl_sharded`: instead
+    of routing raw lines through the pool, the parent ships only the
+    shared ``(path, kind, shards)`` header and per-shard bucket indices;
+    workers map the file (pages shared across processes), bucket rows by
+    qname dictionary codes, and run the vectorized column replay.
+    Counter-identical to ``replay_sharded(read_columnar(path), kind)``
+    for any (workers, pool, chunk size) — the equivalence suite pins it.
+    """
+    _check_kind_and_shards(kind, shards)
+    resolved = str(Path(path).resolve())
+    shard_args = [(bucket,) for bucket in range(shards)]
+    partials, report = run_sharded(
+        _replay_columnar_shard, shard_args, workers=workers,
+        task=f"replay:{kind}", count_of=lambda partial: partial.queries,
+        chunk_size=chunk_size, shared=(resolved, kind, shards), pool=pool)
+    return merge_partials(partials), report
 
 
 def replay_spec_sharded(spec: ShardSpec, kind: str,
@@ -308,17 +368,24 @@ def replay_spec_sharded(spec: ShardSpec, kind: str,
                         ) -> Tuple[ReplayResult, EngineReport]:
     """Replay a builder's dataset without ever materializing it centrally.
 
-    Workers rebuild the records from the :class:`ShardSpec` (builder
-    name + kwargs — tens of bytes on the wire) and replay their qname
-    shards; only ``ReplayPartial`` counters return.  ``shards`` is the
+    Routed through the columnar substrate: the spec's trace is generated
+    once to a temporary columnar file (itself sharded on the same pool,
+    workers writing packed segments), then replayed via
+    :func:`replay_columnar_sharded` — so the per-worker dataset cache is
+    one shared-page mmap of that file instead of the per-worker record
+    lists the old spec dispatch materialized.  ``shards`` is the
     *replay* partition count and is independent of ``spec.shard_count``,
     the generation decomposition.  Byte-identical to generating the
     dataset in the parent and calling :func:`replay_sharded` on it.
     """
     _check_kind_and_shards(kind, shards)
-    shard_args = [(i,) for i in range(shards)]
-    partials, report = run_sharded(
-        _replay_spec_shard, shard_args, workers=workers,
-        task=f"replay:{kind}", count_of=lambda partial: partial.queries,
-        chunk_size=chunk_size, shared=(spec, kind, shards), pool=pool)
-    return merge_partials(partials), report
+    scratch = tempfile.mkdtemp(prefix="repro-replay-spec-")
+    try:
+        trace = Path(scratch) / f"{spec.builder}.col"
+        generate_columnar(spec, trace, schema=kind, workers=workers,
+                          chunk_size=chunk_size, pool=pool)
+        return replay_columnar_sharded(trace, kind, shards=shards,
+                                       workers=workers,
+                                       chunk_size=chunk_size, pool=pool)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)

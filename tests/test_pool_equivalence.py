@@ -24,10 +24,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.datasets.columnar import read_columnar
 from repro.datasets.records import AllNamesRecord, write_jsonl_shards
-from repro.engine import (ShardSpec, WorkerPool, generate_jsonl,
-                          generate_records, generate_records_spec,
-                          register_builder, shard_bounds)
+from repro.engine import (ShardSpec, WorkerPool, generate_columnar,
+                          generate_jsonl, generate_records,
+                          generate_records_spec, register_builder,
+                          replay_columnar_sharded, shard_bounds)
 from repro.engine.executor import _chunk_bounds, _run_header_chunk
 from repro.engine.pool import encode_header, encode_shard_args
 from repro.engine.replay import (_replay_shard_of_kind, replay_jsonl_sharded,
@@ -129,6 +131,59 @@ def test_replay_equivalent_across_matrix(kind, tmp_path):
         assert from_lines == reference, (kind, workers, mode, chunk)
         assert from_spec == reference, (kind, workers, mode, chunk)
         assert (line_report.total_records == spec_report.total_records
+                == ref_report.total_records)
+
+
+@pytest.mark.parametrize("kind", REPLAY_CASES)
+def test_generate_columnar_identical_bytes_across_matrix(kind, tmp_path):
+    """Worker-written columnar shards merge to the reference, bytewise.
+
+    public-cdn shards overlap in time, so this also pins the segment
+    merge to the canonical ts-ordered k-way merge, not concatenation.
+    """
+    spec = _spec(kind)
+    from repro.engine import generate_dataset
+    dataset, _ = generate_dataset(spec.make_builder(), shards=SHARDS,
+                                  workers=1)
+    ref_out = tmp_path / "reference.col"
+    generate_columnar(spec, ref_out, workers=1)
+    assert read_columnar(ref_out) == list(dataset.records)
+    reference = ref_out.read_bytes()
+    for workers, mode, chunk in EXECUTION_MATRIX:
+        out = tmp_path / f"{kind}-w{workers}-{mode}-c{chunk}.col"
+        with WorkerPool(workers, mode=mode) as pool:
+            count, _ = generate_columnar(spec, out, workers=workers,
+                                         chunk_size=chunk, pool=pool)
+        assert out.read_bytes() == reference, (kind, workers, mode, chunk)
+        assert count == len(dataset.records)
+        assert not list(tmp_path.glob(f"{out.name}.shard*")), \
+            "columnar shard files must be cleaned up"
+
+
+@pytest.mark.parametrize("kind", REPLAY_CASES)
+def test_replay_columnar_equivalent_across_matrix(kind, tmp_path):
+    """Columnar replay == JSONL replay == list reference, any pool shape."""
+    spec = _spec(kind)
+    from repro.engine import generate_dataset
+    dataset, _ = generate_dataset(spec.make_builder(), shards=SHARDS,
+                                  workers=1)
+    reference, ref_report = replay_sharded(dataset.records, kind,
+                                           shards=SHARDS, workers=1)
+    col_trace = tmp_path / f"{kind}.col"
+    generate_columnar(spec, col_trace, workers=1)
+    jsonl_trace = tmp_path / f"{kind}.jsonl"
+    generate_jsonl(spec, jsonl_trace, workers=1)
+    for workers, mode, chunk in EXECUTION_MATRIX:
+        with WorkerPool(workers, mode=mode) as pool:
+            from_cols, col_report = replay_columnar_sharded(
+                col_trace, kind, shards=SHARDS, workers=workers,
+                chunk_size=chunk, pool=pool)
+            from_lines, line_report = replay_jsonl_sharded(
+                jsonl_trace, kind, shards=SHARDS, workers=workers,
+                chunk_size=chunk, pool=pool)
+        assert from_cols == reference, (kind, workers, mode, chunk)
+        assert from_lines == reference, (kind, workers, mode, chunk)
+        assert (col_report.total_records == line_report.total_records
                 == ref_report.total_records)
 
 

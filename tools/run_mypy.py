@@ -5,8 +5,9 @@ Usage::
 
     python tools/run_mypy.py [--strict-only]
 
-Profile 1 (strict): ``repro.obs``, ``repro.engine``, ``repro.staticcheck``
-— the invariant-bearing packages, checked with the strict flag set from
+Profile 1 (strict): ``repro.obs``, ``repro.engine``,
+``repro.staticcheck`` and ``repro.datasets.columnar`` — the
+invariant-bearing modules, checked with the strict flag set from
 ``[[tool.mypy.overrides]]`` in pyproject.toml.
 
 Profile 2 (baseline): everything under ``repro`` — parse/import checked,
@@ -23,8 +24,10 @@ from __future__ import annotations
 import subprocess
 import sys
 
-#: Packages under the strict profile (keep in sync with pyproject.toml).
-STRICT_PACKAGES = ("repro.obs", "repro.engine", "repro.staticcheck")
+#: Packages/modules under the strict profile (keep in sync with
+#: pyproject.toml).
+STRICT_PACKAGES = ("repro.obs", "repro.engine", "repro.staticcheck",
+                   "repro.datasets.columnar")
 
 
 def have_mypy() -> bool:
