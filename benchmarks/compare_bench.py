@@ -6,6 +6,7 @@ Usage::
     python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.25]
     python benchmarks/compare_bench.py NEW.json --check-speedup
     python benchmarks/compare_bench.py BENCH_datasets.json --check-columnar
+    python benchmarks/compare_bench.py BENCH_obs.json --check-obs-overhead
 
 Both files are the ``name -> {metric: value}`` shape the bench fixtures
 write (``BENCH_engine.json``, ``BENCH_hotpath.json``).  Every numeric
@@ -33,6 +34,11 @@ jsonl_bytes_per_row <= --max-bytes-ratio`` (default 0.5) — the
 acceptance bars the columnar substrate shipped under.  Unlike the
 parallel gate this one is not CPU-gated: both pipelines are
 single-threaded, so a slow host slows them together.
+
+``--check-obs-overhead`` gates the live-telemetry samples
+(``BENCH_obs.json``): every sample carrying both ``live_off_rps`` and
+``live_on_rps`` must keep ``on/off >= 1 - --max-obs-overhead`` (default
+0.05 — heartbeats may cost at most 5% throughput).
 """
 
 from __future__ import annotations
@@ -209,6 +215,43 @@ def check_columnar(doc: Dict, min_speedup: float = MIN_COLUMNAR_SPEEDUP,
     return lines, failures
 
 
+#: Default live-telemetry overhead bound (see ``check_obs_overhead``).
+MAX_OBS_OVERHEAD = 0.05
+
+
+def check_obs_overhead(doc: Dict, max_overhead: float = MAX_OBS_OVERHEAD
+                       ) -> Tuple[List[str], List[str]]:
+    """Gate live-telemetry overhead samples (``BENCH_obs.json``).
+
+    Returns ``(report_lines, failures)``.  A sample participates when it
+    records both ``live_off_rps`` and ``live_on_rps``; the heartbeat
+    plane must keep ``on/off >= 1 - max_overhead`` (default: at most a
+    5% throughput cost).  Samples missing the pair are skipped, so the
+    file can host the other obs benchmarks untouched.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    floor = 1.0 - max_overhead
+    for bench, metrics in sorted(doc.items()):
+        if not isinstance(metrics, dict):
+            continue
+        off_rps = metrics.get("live_off_rps")
+        on_rps = metrics.get("live_on_rps")
+        if not (isinstance(off_rps, (int, float)) and off_rps > 0
+                and isinstance(on_rps, (int, float))):
+            continue
+        ratio = float(on_rps) / float(off_rps)
+        entry = (f"{bench}: live-on/live-off = {ratio:.3f} "
+                 f"(required >= {floor:.3f}, i.e. <= "
+                 f"{max_overhead:.0%} overhead)")
+        if ratio < floor:
+            failures.append(entry)
+            lines.append(f"  FAIL     {entry}")
+        else:
+            lines.append(f"  ok       {entry}")
+    return lines, failures
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("old", type=Path, help="baseline BENCH_*.json "
@@ -241,6 +284,13 @@ def main(argv: List[str] = None) -> int:
                         default=MAX_BYTES_RATIO,
                         help=f"max columnar/jsonl bytes-per-row ratio "
                         f"(default {MAX_BYTES_RATIO})")
+    parser.add_argument("--check-obs-overhead", action="store_true",
+                        help="also gate live_on_rps/live_off_rps pairs "
+                        "in the candidate (or sole) file")
+    parser.add_argument("--max-obs-overhead", type=float,
+                        default=MAX_OBS_OVERHEAD,
+                        help=f"max fractional throughput cost of the live "
+                        f"heartbeat plane (default {MAX_OBS_OVERHEAD})")
     args = parser.parse_args(argv)
 
     failed = False
@@ -260,9 +310,10 @@ def main(argv: List[str] = None) -> int:
             failed = True
         else:
             print("\nno throughput regressions")
-    elif not (args.check_speedup or args.check_columnar):
-        parser.error("a candidate file, --check-speedup or "
-                     "--check-columnar is required")
+    elif not (args.check_speedup or args.check_columnar
+              or args.check_obs_overhead):
+        parser.error("a candidate file, --check-speedup, --check-columnar "
+                     "or --check-obs-overhead is required")
 
     if args.check_speedup:
         candidate = json.loads(Path(candidate_path).read_text())
@@ -299,6 +350,23 @@ def main(argv: List[str] = None) -> int:
             print("\ncolumnar gate passed")
         else:
             print("\nno columnar samples found")
+
+    if args.check_obs_overhead:
+        candidate = json.loads(Path(candidate_path).read_text())
+        lines, failures = check_obs_overhead(candidate,
+                                             args.max_obs_overhead)
+        print(f"obs overhead gate on {candidate_path} "
+              f"(live plane <= {args.max_obs_overhead:.0%} "
+              f"throughput cost)")
+        for line in lines:
+            print(line)
+        if failures:
+            print(f"\n{len(failures)} obs overhead gate failure(s)")
+            failed = True
+        elif lines:
+            print("\nobs overhead gate passed")
+        else:
+            print("\nno live overhead samples found")
 
     return 1 if failed else 0
 

@@ -21,8 +21,10 @@ import pytest
 
 from repro.analysis.cache_sim import replay_partial_batched
 from repro.datasets.allnames import AllNamesBuilder
-from repro.engine.replay import _replay_shard
+from repro.engine.replay import _replay_shard, replay_sharded
 from repro.obs import observe
+from repro.obs import live as obs_live
+from repro.obs.live import LiveSink, SinkEmitter
 
 SCALE = float(os.environ.get("HOTPATH_BENCH_SCALE", "1.0"))
 
@@ -33,6 +35,10 @@ METRICS_FLOOR = 0.8
 #: Traced throughput floor: spans are per-record (capped per shard), so
 #: the traced lane is allowed to be slower, but not catastrophically.
 TRACED_FLOOR = 0.2
+
+#: In-test live-heartbeat floor (loose; the CI gate applies the strict
+#: <= 5% bound via ``compare_bench.py --check-obs-overhead``).
+LIVE_FLOOR = 0.8
 
 
 @pytest.fixture(scope="module")
@@ -78,3 +84,56 @@ def test_obs_overhead_on_replay(obs_bench, replay_records):
     }
     assert metrics_rps >= METRICS_FLOOR * disabled_rps
     assert traced_rps >= TRACED_FLOOR * disabled_rps
+
+
+@pytest.mark.hotpath
+def test_live_heartbeat_overhead(obs_bench, replay_records):
+    """Sharded replay throughput with the heartbeat plane off vs on.
+
+    Heartbeats fire at shard boundaries (run/dispatch/shard events),
+    never per record, so an active :class:`LiveSink` must cost a small
+    constant per shard.  Best-of-3 per mode, interleaved, to keep the
+    ratio out of scheduler noise; the CI ``obs-live`` job holds the
+    written ``live_on_rps``/``live_off_rps`` pair to a <= 5% overhead
+    bound via ``compare_bench.py --check-obs-overhead``.
+    """
+    records = replay_records
+    shards = 8
+
+    def timed():
+        start = time.perf_counter()
+        result, _ = replay_sharded(records, "allnames", shards=shards)
+        return result, time.perf_counter() - start
+
+    off_result = on_result = None
+    off_seconds = on_seconds = float("inf")
+    sink = None
+    for _ in range(3):
+        off_result, seconds = timed()
+        off_seconds = min(off_seconds, seconds)
+        sink = LiveSink()
+        previous = obs_live.activate(SinkEmitter(sink))
+        try:
+            on_result, seconds = timed()
+        finally:
+            obs_live.activate(previous)
+            sink.close()
+        on_seconds = min(on_seconds, seconds)
+
+    # The live plane never touches results, and every shard's lifecycle
+    # beats arrived (run_start + per-shard start/end + run_end).
+    assert on_result == off_result
+    assert sink is not None and sink.heartbeats >= 2 * shards + 2
+
+    n = len(records)
+    off_rps = n / off_seconds
+    on_rps = n / on_seconds
+    obs_bench["replay_allnames_live"] = {
+        "records": n,
+        "shards": shards,
+        "heartbeats": sink.heartbeats,
+        "live_off_rps": round(off_rps, 1),
+        "live_on_rps": round(on_rps, 1),
+        "live_ratio": round(on_rps / off_rps, 3),
+    }
+    assert on_rps >= LIVE_FLOOR * off_rps

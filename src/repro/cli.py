@@ -35,8 +35,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, TextIO
 
 from .analysis import (analyze_caching_behavior, analyze_discovery,
                        analyze_hidden_resolvers, analyze_probing,
@@ -61,7 +62,11 @@ from .engine.replay import replay_columnar_sharded, replay_jsonl_sharded
 from .faults.chaos import run_chaos
 from .faults.presets import preset, preset_names
 from .measure import Scanner
-from .obs import observe, profile_call, write_prometheus, write_spans_jsonl
+from .obs import (LiveSink, SinkEmitter, TelemetryServer, observe,
+                  profile_call, write_chrome_trace, write_prometheus,
+                  write_spans_jsonl, write_timeline_jsonl)
+from .obs import live as obs_live
+from .units import human_bytes, human_count
 
 
 class _Reporter:
@@ -110,6 +115,55 @@ class _Reporter:
         never written to report files.
         """
         self.note(report.report() if self.show_report else report.summary())
+
+
+class _LiveProgress:
+    """Rate-limited single-line progress renderer for ``--live``.
+
+    Installed as the :class:`~repro.obs.live.LiveSink` beat callback; it
+    rewrites one stderr line (``\\r``) at most ~5 times a second, so a
+    long sharded run narrates itself without flooding the terminal.
+    Strictly out-of-band: it writes to stderr only, never to reports,
+    so determinism diffs never see it.
+    """
+
+    #: Minimum seconds between repaints (run_end always repaints).
+    _INTERVAL = 0.2
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._last = 0.0
+        self._done = 0
+        self._total = 0
+        self._records = 0
+        self._task = ""
+        self._wrote = False
+
+    def __call__(self, sink: LiveSink,
+                 beat: "obs_live.Heartbeat") -> None:
+        if beat.kind == "run_start":
+            self._task = beat.task
+            self._total += beat.shards
+        elif beat.kind == "shard_end":
+            self._done += 1
+            self._records += beat.records
+        elif beat.kind not in ("progress", "run_end"):
+            return
+        now = time.monotonic()
+        if beat.kind != "run_end" and now - self._last < self._INTERVAL:
+            return
+        self._last = now
+        self._stream.write(
+            f"\r[live] {self._task}: {self._done}/{self._total} shards, "
+            f"{human_count(self._records)} records")
+        self._stream.flush()
+        self._wrote = True
+
+    def finish(self) -> None:
+        """Terminate the progress line so later output starts clean."""
+        if self._wrote:
+            self._stream.write("\n")
+            self._stream.flush()
 
 
 def cmd_scan(args: argparse.Namespace, reporter: _Reporter) -> None:
@@ -247,22 +301,37 @@ def cmd_convert(args: argparse.Namespace, reporter: _Reporter) -> None:
                   f"{args.src} -> {args.dst} ({target})")
 
 
+def _quantity(value: int, fmt: Callable[[int], str]) -> str:
+    """Render a count/size humanized, keeping the exact integer visible.
+
+    Small values where the humanized form *is* the exact value ("875 B",
+    "312") render once; larger ones render as ``1.4 GiB (1475739648)``.
+    """
+    pretty = fmt(value)
+    if pretty in (str(value), f"{value} B"):
+        return pretty
+    return f"{pretty} ({value})"
+
+
 def cmd_dataset(args: argparse.Namespace, reporter: _Reporter) -> None:
     """Inspect an on-disk dataset file (``dataset info FILE``).
 
     For a columnar trace the report comes from the header alone — no
     segment is read — and breaks the footprint down per column; for a
-    JSONL trace it falls back to line/byte counts.
+    JSONL trace it falls back to line/byte counts.  Row and byte totals
+    render through :mod:`repro.units` (``1.4 GiB``, ``3.8B rows``) with
+    the exact integer alongside, so the table stays grep-able.
     """
     path = Path(args.file)
     if is_columnar(path):
         info = file_info(path)
         rows = [("schema", info["schema"]),
                 ("format version", info["version"]),
-                ("rows", info["rows"]),
-                ("file bytes", info["file_bytes"]),
+                ("rows", _quantity(info["rows"], human_count)),
+                ("file bytes", _quantity(info["file_bytes"], human_bytes)),
                 ("bytes/row", round(info["bytes_per_row"], 2)),
-                ("header bytes", info["header_bytes"])]
+                ("header bytes",
+                 _quantity(info["header_bytes"], human_bytes))]
         reporter.emit("dataset_info", format_table(
             ("property", "value"), rows,
             title=f"Columnar trace {path}"))
@@ -278,8 +347,9 @@ def cmd_dataset(args: argparse.Namespace, reporter: _Reporter) -> None:
             lines = sum(1 for line in fh if line.strip())
         reporter.emit("dataset_info", format_table(
             ("property", "value"),
-            [("format", "jsonl"), ("records", lines),
-             ("file bytes", size),
+            [("format", "jsonl"),
+             ("records", _quantity(lines, human_count)),
+             ("file bytes", _quantity(size, human_bytes)),
              ("bytes/row", round(size / lines, 2) if lines else 0.0)],
             title=f"JSONL trace {path}"))
 
@@ -378,6 +448,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", default=None, metavar="FILE",
                         help="run under cProfile and write the hottest "
                              "cumulative-time functions to FILE")
+    parser.add_argument("--serve-metrics", nargs="?", type=int, const=0,
+                        default=None, metavar="PORT",
+                        help="serve live telemetry over HTTP while the "
+                             "command runs: /metrics (Prometheus text), "
+                             "/healthz, /run (JSON progress); pass an "
+                             "explicit PORT before the subcommand "
+                             "(0 picks a free port)")
+    parser.add_argument("--timeline-out", default=None, metavar="FILE",
+                        help="export the run timeline after the command: "
+                             "Chrome trace-event JSON when FILE ends in "
+                             ".json (opens in Perfetto), JSONL otherwise")
+    parser.add_argument("--live", action="store_true",
+                        help="render a one-line live progress ticker on "
+                             "stderr (out-of-band, like --serve-metrics)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def positive_int(value: str) -> int:
@@ -533,6 +617,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     ``.prom`` / one span JSONL covers everything the command did
     (including all sub-commands of ``all``).  The collectors are
     out-of-band — reports are byte-identical with the flags on or off.
+
+    The live plane (``--serve-metrics`` / ``--timeline-out`` /
+    ``--live``) follows the same contract: a :class:`LiveSink` is wired
+    up *before* the command dispatches (so worker pools install the
+    heartbeat side channel at spawn), torn down after, and everything it
+    collects rides heartbeats — experiment outputs stay byte-identical
+    at any worker count with the plane on or off.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -545,17 +636,55 @@ def main(argv: Optional[List[str]] = None) -> int:
                          show_report=args.report)
     want_metrics = args.metrics_out is not None
     want_traces = args.trace_out is not None
-    with observe(metrics=want_metrics, tracing=want_traces) as session:
-        if args.profile is not None:
-            _, stats_text = profile_call(
-                _dispatch, args, reporter,
-                title=f"repro-ecs {args.command}")
-            path = Path(args.profile)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(stats_text + "\n")
-            reporter.note(f"wrote profile to {args.profile}")
+    live_enabled = (args.serve_metrics is not None
+                    or args.timeline_out is not None or args.live)
+    progress = _LiveProgress() if args.live else None
+    sink: Optional[LiveSink] = None
+    server: Optional[TelemetryServer] = None
+    previous_emitter: Optional[obs_live.LiveEmitter] = None
+    if live_enabled:
+        # Shard registries ride shard_end heartbeats, so the sink needs
+        # metrics capture on even when no --metrics-out was asked for.
+        sink = LiveSink(on_beat=progress)
+        previous_emitter = obs_live.activate(SinkEmitter(sink))
+        if args.serve_metrics is not None:
+            server = TelemetryServer(sink, port=args.serve_metrics)
+            port = server.start()
+            reporter.note(f"serving live telemetry on "
+                          f"http://127.0.0.1:{port} "
+                          f"(/metrics, /healthz, /run)")
+    try:
+        with observe(metrics=want_metrics or live_enabled,
+                     tracing=want_traces) as session:
+            if args.profile is not None:
+                _, stats_text = profile_call(
+                    _dispatch, args, reporter,
+                    title=f"repro-ecs {args.command}")
+                path = Path(args.profile)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(stats_text + "\n")
+                reporter.note(f"wrote profile to {args.profile}")
+            else:
+                _dispatch(args, reporter)
+    finally:
+        if live_enabled:
+            obs_live.activate(previous_emitter)
+            if server is not None:
+                server.stop()
+            if sink is not None:
+                sink.close()
+            if progress is not None:
+                progress.finish()
+    if args.timeline_out is not None and sink is not None:
+        events = sink.timeline.events()
+        timeline_path = Path(args.timeline_out)
+        if timeline_path.suffix == ".json":
+            write_chrome_trace(events, timeline_path)
         else:
-            _dispatch(args, reporter)
+            write_timeline_jsonl(events, timeline_path,
+                                 dropped=sink.timeline.dropped)
+        reporter.note(f"wrote {len(events)} timeline events "
+                      f"to {args.timeline_out}")
     if want_metrics:
         write_prometheus(session.registry, args.metrics_out)
         reporter.note(f"wrote metrics to {args.metrics_out}")

@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..obs import live as obs_live
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
@@ -134,16 +135,47 @@ _Outcome = Tuple[Any, float, Optional[MetricsRegistry],
                  Optional[List[Span]], int]
 
 
+def _live_record_count(result: Any) -> int:
+    """Best-effort record count for a shard's heartbeat.
+
+    The parent's ``count_of`` extractor is not picklable into workers,
+    so heartbeats use a structural guess: sized results report their
+    length, integer results (the JSONL/columnar writers return counts)
+    report themselves, partials expose ``queries`` or ``records``.  Only
+    the live plane reads this — :class:`ShardStats` keeps using
+    ``count_of``.
+    """
+    if hasattr(result, "__len__"):
+        return len(result)
+    if isinstance(result, int):
+        return result
+    for attr in ("queries", "records"):
+        value = getattr(result, attr, None)
+        if isinstance(value, int):
+            return value
+    return 0
+
+
 def _observed_call(fn: Callable[..., Any], args: Tuple[Any, ...],
-                   shard_index: int,
-                   capture_metrics: bool, capture_traces: bool) -> _Outcome:
+                   shard_index: int, capture_metrics: bool,
+                   capture_traces: bool, task: str = "engine") -> _Outcome:
     """Run ``fn(*args)`` timed, against fresh per-shard obs collectors.
 
     Swapping (rather than merely activating) the registry/tracer makes
     inline and pooled execution indistinguishable to the instrumented
     code: either way the shard writes into its own collectors, which are
     snapshotted here and merged by the parent in shard order.
+
+    With a live emitter active, the shard's boundaries stream out as
+    ``shard_start``/``shard_end`` heartbeats; the end beat carries the
+    shard's registry snapshot so scrapes see counters grow mid-run.
+    Heartbeats are fire-and-forget side traffic — the returned outcome
+    (and therefore every experiment output) is identical with the live
+    plane on or off.
     """
+    emitter = obs_live.ACTIVE
+    if emitter is not None:
+        emitter.shard_start(task, shard_index)
     registry: Optional[MetricsRegistry] = None
     spans: Optional[List[Span]] = None
     dropped = 0
@@ -161,12 +193,17 @@ def _observed_call(fn: Callable[..., Any], args: Tuple[Any, ...],
         if tracer is not None:
             obs_trace.swap(previous_tracer)
             spans, dropped = tracer.spans, tracer.dropped
+    if emitter is not None:
+        emitter.shard_end(task, shard_index,
+                          records=_live_record_count(result),
+                          seconds=seconds, metrics=registry)
     return result, seconds, registry, spans, dropped
 
 
 def _run_header_chunk(header: bytes, args_blobs: Sequence[bytes],
                       base_index: int, capture_metrics: bool,
-                      capture_traces: bool) -> List[_Outcome]:
+                      capture_traces: bool,
+                      task: str = "engine") -> List[_Outcome]:
     """Worker entry point: run several consecutive shards of one run.
 
     The run header (function token + shared state) is decoded at most
@@ -174,15 +211,21 @@ def _run_header_chunk(header: bytes, args_blobs: Sequence[bytes],
     memoizes by content digest — so a run with many chunks pays one
     shared-state deserialization per worker, not one per chunk.  Each
     shard is still timed (and observed) individually so per-shard stats
-    stay meaningful.
+    stay meaningful.  A fresh header decode emits a ``header_decode``
+    heartbeat, making per-worker deserialization visible on timelines.
     """
+    loads_before = pool_mod.header_loads()
     fn, shared = decode_header(header)
+    emitter = obs_live.ACTIVE
+    if emitter is not None and pool_mod.header_loads() != loads_before:
+        emitter.event("header_decode", task=task, bytes=len(header))
     outcomes: List[_Outcome] = []
     for offset, blob in enumerate(args_blobs):
         args = pickle.loads(blob)
         outcomes.append(_observed_call(fn, tuple(shared) + tuple(args),
                                        base_index + offset,
-                                       capture_metrics, capture_traces))
+                                       capture_metrics, capture_traces,
+                                       task))
     return outcomes
 
 
@@ -249,6 +292,9 @@ def run_sharded(fn: Callable[..., Any],
     workers = max(1, workers)
     capture_metrics = obs_metrics.ACTIVE is not None
     capture_traces = obs_trace.ACTIVE is not None
+    emitter = obs_live.ACTIVE
+    if emitter is not None:
+        emitter.run_start(task, shards=len(shard_args))
     wall_start = time.perf_counter()
     outcomes: List[_Outcome] = []
     payload_bytes: List[int] = [0] * len(shard_args)
@@ -258,7 +304,7 @@ def run_sharded(fn: Callable[..., Any],
         for index, args in enumerate(shard_args):
             outcomes.append(_observed_call(fn, tuple(shared) + tuple(args),
                                            index, capture_metrics,
-                                           capture_traces))
+                                           capture_traces, task))
     else:
         header = encode_header(fn, tuple(shared))
         header_bytes = len(header)
@@ -271,8 +317,13 @@ def run_sharded(fn: Callable[..., Any],
         run_pool, ephemeral = _resolve_pool(pool, workers)
         pool_mode = run_pool.mode
         submissions = [(header, blobs[lo:hi], lo,
-                        capture_metrics, capture_traces)
+                        capture_metrics, capture_traces, task)
                        for lo, hi in bounds]
+        if emitter is not None:
+            for position, (lo, hi) in enumerate(bounds):
+                emitter.dispatch(task, shard=lo, shards=hi - lo,
+                                 payload_bytes=sum(payload_bytes[lo:hi]),
+                                 queue_depth=len(bounds) - position)
         try:
             for chunk in run_pool.run_batch(_run_header_chunk, submissions,
                                             task=task):
@@ -297,6 +348,8 @@ def run_sharded(fn: Callable[..., Any],
     report = EngineReport(task, workers, wall, stats,
                           pool_mode=pool_mode, header_bytes=header_bytes)
     _fold_observability(report, outcomes, capture_metrics, capture_traces)
+    if emitter is not None:
+        emitter.run_end(task, records=sum(s.records for s in stats))
     return results, report
 
 

@@ -34,11 +34,13 @@ Two dispatch flavors coexist:
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Any, List, Optional, Protocol, Sequence, Tuple, Union
 
 from ..datasets.columnar import merge_columnar_shards, write_columnar
 from ..datasets.records import merge_jsonl_shards, shard_path, write_jsonl
+from ..obs import live as _obs_live
 from ..obs import metrics as _obs_metrics
 from .executor import EngineReport, run_sharded
 from .pool import WorkerPool
@@ -205,7 +207,13 @@ def generate_jsonl(spec: ShardSpec, out_path: Union[str, Path],
         shared=(spec, str(out)), pool=pool,
         count_of=lambda count: int(count))
     paths = [shard_path(out, i) for i in range(spec.shard_count)]
+    merge_start = time.perf_counter()
     total = merge_jsonl_shards(paths, out)
+    emitter = _obs_live.ACTIVE
+    if emitter is not None:
+        emitter.event("merge", task=f"generate:{spec.builder}",
+                      records=total,
+                      seconds=time.perf_counter() - merge_start)
     for path in paths:
         path.unlink()
     if total != sum(counts):
@@ -243,7 +251,13 @@ def generate_columnar(spec: ShardSpec, out_path: Union[str, Path],
         shared=(spec, str(out), schema_name), pool=pool,
         count_of=lambda count: int(count))
     paths = [shard_path(out, i) for i in range(spec.shard_count)]
+    merge_start = time.perf_counter()
     total = merge_columnar_shards(paths, out)
+    emitter = _obs_live.ACTIVE
+    if emitter is not None:
+        emitter.event("merge", task=f"generate:{spec.builder}",
+                      records=total,
+                      seconds=time.perf_counter() - merge_start)
     for path in paths:
         path.unlink()
     if total != sum(counts):

@@ -42,6 +42,8 @@ from concurrent.futures.process import BrokenProcessPool
 from types import TracebackType
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
+from ..obs import live as _obs_live
+
 #: The two pool lifecycles the CLI exposes via ``--pool``.
 POOL_MODES = ("persistent", "spawn-per-batch")
 
@@ -209,15 +211,33 @@ class WorkerPool:
 
     # -- lifecycle -----------------------------------------------------------
 
+    @staticmethod
+    def _executor_kwargs() -> Dict[str, Any]:
+        """Telemetry plumbing for fresh worker processes.
+
+        When the live plane is active in the parent
+        (:mod:`repro.obs.live`), every executor gets an initializer that
+        installs a queue-backed emitter in each worker — the side
+        channel worker heartbeats ride.  Inactive: no extra kwargs, so
+        pools outside a live session are byte-for-byte the old ones.
+        """
+        init = _obs_live.pool_initializer()
+        if init is None:
+            return {}
+        initializer, initargs = init
+        return {"initializer": initializer, "initargs": initargs}
+
     def _ensure_executor(self, batch_size: int) -> ProcessPoolExecutor:
         if self._closed:
             raise PoolShutdownError("worker pool has been shut down")
         if self.mode == "spawn-per-batch":
             # Caller tears this one down in run_batch's finally.
             return ProcessPoolExecutor(
-                max_workers=min(self.workers, max(1, batch_size)))
+                max_workers=min(self.workers, max(1, batch_size)),
+                **self._executor_kwargs())
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, **self._executor_kwargs())
         return self._executor
 
     def _discard_broken(self) -> None:

@@ -22,6 +22,7 @@ import os
 import re
 import shutil
 import tempfile
+import time
 from operator import attrgetter
 from pathlib import Path
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
@@ -34,6 +35,7 @@ from ..analysis.cache_sim import (ReplayPartial, ReplayResult,
 from ..core.cache import ScopeTracker
 from ..datasets.columnar import ColumnarStore
 from ..datasets.records import AllNamesRecord, PublicCdnRecord
+from ..obs import live as _obs_live
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs_trace
 from .executor import EngineReport, run_sharded
@@ -267,6 +269,7 @@ def replay_jsonl_sharded(path: Union[str, Path], kind: str,
     ``replay_sharded(read_jsonl(path), kind)`` by construction.
     """
     _check_kind_and_shards(kind, shards)
+    bucket_start = time.perf_counter()
     buckets: List[List[str]] = [[] for _ in range(shards)]
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
@@ -274,6 +277,11 @@ def replay_jsonl_sharded(path: Union[str, Path], kind: str,
             if line:
                 buckets[stable_bucket(_qname_of_line(line), shards)] \
                     .append(line)
+    emitter = _obs_live.ACTIVE
+    if emitter is not None:
+        emitter.event("bucket", task=f"replay:{kind}",
+                      records=sum(len(bucket) for bucket in buckets),
+                      seconds=time.perf_counter() - bucket_start)
     shard_args = [(bucket,) for bucket in buckets]
     partials, report = run_sharded(
         _replay_lines_shard, shard_args, workers=workers,

@@ -28,6 +28,7 @@ from ..engine.seeding import derive_seed
 from ..engine.sharding import DEFAULT_SHARDS, shard_bounds
 from ..measure.scanner import Scanner
 from ..net.transport import NetworkStats
+from ..obs import live as _obs_live
 from .plan import FaultPlan
 from .retry import RetryPolicy
 
@@ -134,10 +135,17 @@ def _chaos_shard(plan: FaultPlan, policy: RetryPolicy, seed: int,
     universe = ScanUniverseBuilder(
         seed=derive_seed(seed, shard_index, "chaos.universe"),
         ingress_count=ingress_count).build()
+    emitter = _obs_live.ACTIVE
+    if emitter is not None:
+        emitter.event("chaos_universe", task=f"chaos[{plan.name}]",
+                      shard=shard_index, ingress=ingress_count)
     bound = plan.bind(fault_seed, shard_index)
     universe.net.install_injector(bound)
     scanner = Scanner(universe, retry_policy=policy)
     result = scanner.scan()
+    if emitter is not None:
+        emitter.progress(f"chaos[{plan.name}]", shard_index,
+                         records=len(result.records))
     targets = universe.forwarder_ips
     return ChaosPartial(
         probes=len(targets),

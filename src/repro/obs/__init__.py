@@ -15,9 +15,14 @@ tracer costs one global load per instrumented call site.  Three parts:
 - :mod:`repro.obs.export` / :mod:`repro.obs.profile` — Prometheus text
   and JSONL span export, plus a cProfile hook for whole commands or
   individual shards.
+- :mod:`repro.obs.live` / :mod:`repro.obs.server` /
+  :mod:`repro.obs.timeline` — the live plane: loss-tolerant heartbeat
+  streaming from pool workers into a :class:`LiveSink`, a stdlib HTTP
+  scrape endpoint (``/metrics``, ``/healthz``, ``/run``), and run
+  timelines exportable as JSONL or Chrome trace-event JSON.
 
-See ``docs/observability.md`` for the instrument catalogue and how to
-read a query trace.
+See ``docs/observability.md`` for the instrument catalogue, the live
+plane's heartbeat protocol and how to read a query trace.
 """
 
 from __future__ import annotations
@@ -29,18 +34,29 @@ from . import metrics as _metrics
 from . import trace as _trace
 from .export import (parse_prometheus, read_spans_jsonl, spans_to_jsonl,
                      to_prometheus, write_prometheus, write_spans_jsonl)
+from .live import (Heartbeat, LiveEmitter, LiveSink, QueueEmitter,
+                   SinkEmitter)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       merge_registries)
 from .profile import profile_call, profiled, render_stats
+from .server import TelemetryServer
+from .timeline import (Timeline, TimelineEvent, events_to_jsonl,
+                       jsonl_to_chrome, read_timeline_jsonl,
+                       to_chrome_trace, write_chrome_trace,
+                       write_timeline_jsonl)
 from .trace import Span, Tracer, event, span
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "MetricsRegistry", "ObsSession",
-    "Span", "Tracer", "active_registry", "active_tracer", "event",
-    "merge_registries", "observe", "parse_prometheus", "profile_call",
-    "profiled", "read_spans_jsonl", "render_stats", "span",
-    "spans_to_jsonl", "to_prometheus", "write_prometheus",
-    "write_spans_jsonl",
+    "Counter", "Gauge", "Heartbeat", "Histogram", "LiveEmitter",
+    "LiveSink", "MetricsRegistry", "ObsSession", "QueueEmitter",
+    "SinkEmitter", "Span", "TelemetryServer", "Timeline",
+    "TimelineEvent", "Tracer", "active_registry", "active_tracer",
+    "event", "events_to_jsonl", "jsonl_to_chrome", "merge_registries",
+    "observe", "parse_prometheus", "profile_call", "profiled",
+    "read_spans_jsonl", "read_timeline_jsonl", "render_stats", "span",
+    "spans_to_jsonl", "to_chrome_trace", "to_prometheus",
+    "write_chrome_trace", "write_prometheus", "write_spans_jsonl",
+    "write_timeline_jsonl",
 ]
 
 

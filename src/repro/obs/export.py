@@ -134,9 +134,11 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
 
     Returns ``{metric_family: {"type": ..., "help": ..., "samples":
     [(name, labels, value), ...]}}``.  Validation covers: every sample
-    belongs to a declared family, ``TYPE`` precedes samples, histogram
-    families expose ``_bucket``/``_sum``/``_count`` series, bucket
-    counts are cumulative, and values parse as numbers.
+    belongs to a declared family, ``TYPE`` precedes samples and is
+    declared at most once per family (a duplicate means two scrape
+    bodies were concatenated), histogram families expose
+    ``_bucket``/``_sum``/``_count`` series, bucket counts are
+    cumulative, and values parse as numbers.
     """
     families: Dict[str, Dict[str, Any]] = {}
     for lineno, raw in enumerate(text.splitlines(), 1):
@@ -155,8 +157,15 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
             if kind not in ("counter", "gauge", "histogram", "summary",
                             "untyped"):
                 raise ValueError(f"line {lineno}: unknown type {kind!r}")
-            families.setdefault(name, {"type": None, "help": None,
-                                       "samples": []})["type"] = kind
+            family_info = families.setdefault(
+                name, {"type": None, "help": None, "samples": []})
+            if family_info["type"] is not None:
+                # A family declared twice is the signature of two scrape
+                # bodies concatenated together — reject it loudly rather
+                # than silently merging inconsistent series.
+                raise ValueError(f"line {lineno}: duplicate # TYPE for "
+                                 f"{name!r}")
+            family_info["type"] = kind
             continue
         if line.startswith("#"):
             continue

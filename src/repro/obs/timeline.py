@@ -1,0 +1,203 @@
+"""Run timelines: lifecycle events in a ring buffer, exportable two ways.
+
+A :class:`Timeline` records :class:`TimelineEvent` objects — run,
+dispatch, shard and worker lifecycle moments fed by the live heartbeat
+sink (:mod:`repro.obs.live`) — in a bounded ring buffer, so a very long
+run can never grow the parent's memory without bound; overflow is
+counted, not silently lost.
+
+Export targets:
+
+* **JSONL** (:func:`write_timeline_jsonl`) — one event per line plus a
+  trailing ``timeline_summary`` object, mirroring the span export in
+  :mod:`repro.obs.export` so truncated files stay self-describing.
+* **Chrome trace-event JSON** (:func:`to_chrome_trace` /
+  :func:`write_chrome_trace`) — the ``{"traceEvents": [...]}`` format
+  that ``chrome://tracing`` and Perfetto (https://ui.perfetto.dev) open
+  directly: events with a duration render as complete (``"ph": "X"``)
+  slices per worker pid, instants as thread-scoped markers, which gives
+  a flamegraph-style view of shard occupancy across workers.
+
+Timestamps are ``time.monotonic()`` seconds (system-wide on Linux, so
+parent and worker clocks agree); the Chrome export rebases them to the
+earliest event and converts to microseconds as the format requires.
+Everything here is out-of-band observability — experiment outputs never
+depend on whether a timeline was recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Union
+
+#: Default ring-buffer capacity; at one event per shard boundary this
+#: covers runs tens of thousands of shards deep before dropping.
+DEFAULT_TIMELINE_CAPACITY = 65536
+
+
+@dataclass
+class TimelineEvent:
+    """One lifecycle moment (or slice, when ``dur`` is set).
+
+    ``ts`` is the event's *start* in ``time.monotonic()`` seconds;
+    ``dur`` (seconds) turns the event into a slice covering
+    ``[ts, ts + dur)``.  ``attrs`` carries free-form context (queue
+    depth, payload bytes, record counts) and survives both export
+    formats.
+    """
+
+    ts: float
+    kind: str
+    name: str
+    pid: int = 0
+    shard: Optional[int] = None
+    dur: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form; attrs are flattened as ``attr_*`` keys."""
+        doc: Dict[str, Any] = {"ts": self.ts, "kind": self.kind,
+                               "name": self.name, "pid": self.pid}
+        if self.shard is not None:
+            doc["shard"] = self.shard
+        if self.dur is not None:
+            doc["dur"] = self.dur
+        for key in sorted(self.attrs):
+            doc[f"attr_{key}"] = self.attrs[key]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TimelineEvent":
+        """Inverse of :meth:`as_dict` (round-trips through JSONL)."""
+        attrs = {key[len("attr_"):]: value for key, value in doc.items()
+                 if key.startswith("attr_")}
+        return cls(ts=float(doc["ts"]), kind=str(doc["kind"]),
+                   name=str(doc["name"]), pid=int(doc.get("pid", 0)),
+                   shard=doc.get("shard"), dur=doc.get("dur"), attrs=attrs)
+
+
+class Timeline:
+    """A bounded event buffer with overflow accounting.
+
+    Appends past ``capacity`` evict the oldest event (ring semantics);
+    :attr:`dropped` reports how many were lost so exports can say so.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_TIMELINE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("timeline capacity must be >= 1")
+        self.capacity = capacity
+        self.seen = 0
+        self._events: Deque[TimelineEvent] = deque(maxlen=capacity)
+
+    def add(self, event: TimelineEvent) -> None:
+        self.seen += 1
+        self._events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self.seen - len(self._events))
+
+    def events(self) -> List[TimelineEvent]:
+        """The retained events, oldest first (a copy; safe to hold)."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+# ---------------------------------------------------------------------------
+# JSONL export (mirrors the span JSONL conventions in obs.export).
+
+
+def events_to_jsonl(events: Iterable[TimelineEvent]) -> str:
+    """One JSON object per event, in the given order."""
+    return "".join(json.dumps(event.as_dict(), sort_keys=True) + "\n"
+                   for event in events)
+
+
+def write_timeline_jsonl(events: Sequence[TimelineEvent],
+                         path: Union[str, Path],
+                         dropped: int = 0) -> Path:
+    """Write events as JSONL with a trailing ``timeline_summary`` line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    summary = json.dumps({"event": "timeline_summary",
+                          "events": len(events), "dropped": dropped},
+                         sort_keys=True)
+    path.write_text(events_to_jsonl(events) + summary + "\n")
+    return path
+
+
+def read_timeline_jsonl(path: Union[str, Path]) -> List[TimelineEvent]:
+    """Load events back (summary lines excluded)."""
+    out: List[TimelineEvent] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        doc = json.loads(line)
+        if doc.get("event") == "timeline_summary":
+            continue
+        out.append(TimelineEvent.from_dict(doc))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export (Perfetto / chrome://tracing).
+
+
+def to_chrome_trace(events: Sequence[TimelineEvent]) -> Dict[str, Any]:
+    """Render events as a Chrome trace-event JSON document.
+
+    Slices (events with ``dur``) become complete events (``"ph": "X"``)
+    on a per-pid track; instants become thread-scoped markers
+    (``"ph": "i"``).  Timestamps rebase to the earliest event and
+    convert to microseconds, so the document is valid regardless of the
+    monotonic clock's epoch.  Output ordering is deterministic:
+    ``(ts, kind, name)``.
+    """
+    base = min((event.ts for event in events), default=0.0)
+    trace_events: List[Dict[str, Any]] = []
+    for event in sorted(events, key=lambda e: (e.ts, e.kind, e.name)):
+        args: Dict[str, Any] = dict(sorted(event.attrs.items()))
+        if event.shard is not None:
+            args["shard"] = event.shard
+        doc: Dict[str, Any] = {
+            "name": event.name or event.kind,
+            "cat": event.kind,
+            "pid": event.pid,
+            "tid": event.pid,
+            "ts": round((event.ts - base) * 1e6, 3),
+            "args": args,
+        }
+        if event.dur is not None:
+            doc["ph"] = "X"
+            doc["dur"] = round(max(0.0, event.dur) * 1e6, 3)
+        else:
+            doc["ph"] = "i"
+            doc["s"] = "t"
+        trace_events.append(doc)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Sequence[TimelineEvent],
+                       path: Union[str, Path]) -> Path:
+    """Write the Chrome trace-event rendering to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(events), sort_keys=True)
+                    + "\n")
+    return path
+
+
+def jsonl_to_chrome(src: Union[str, Path], dst: Union[str, Path]) -> int:
+    """Convert a timeline JSONL file to Chrome trace format.
+
+    Returns the number of events converted, so callers can report it.
+    """
+    events = read_timeline_jsonl(src)
+    write_chrome_trace(events, dst)
+    return len(events)

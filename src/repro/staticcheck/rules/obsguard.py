@@ -10,8 +10,10 @@ hold only if every call site follows the guard idiom::
         reg.counter(...).inc(...)
 
 This rule tracks names bound from the ``ACTIVE`` slot (or the
-``active()`` accessor) of :mod:`repro.obs.metrics` / :mod:`repro.obs.trace`
-and reports any use of such a name that is not dominated by an
+``active()`` accessor) of :mod:`repro.obs.metrics`,
+:mod:`repro.obs.trace` and :mod:`repro.obs.live` (the heartbeat
+emitter slot follows the exact same contract) and reports any use of
+such a name that is not dominated by an
 ``is None`` / ``is not None`` check: an early ``if x is None: return``,
 an ``if x is not None:`` block, the guarded arm of a conditional
 expression, or the tail of an ``x is not None and ...`` BoolOp.  Plain
@@ -32,7 +34,10 @@ from typing import List, Optional, Set, Tuple
 from ..core import AstRule, LintContext, register
 
 #: Module basenames whose ``ACTIVE``/``active()`` starts tracking.
-_OBS_MODULES = ("metrics", "trace")
+_OBS_MODULES = ("metrics", "trace", "live")
+
+#: Dotted-suffix forms of the same modules (``repro.obs.live`` etc.).
+_OBS_SUFFIXES = ("obs.metrics", "obs.trace", "obs.live")
 
 
 def _obs_module_aliases(tree: ast.Module) -> Set[str]:
@@ -45,12 +50,11 @@ def _obs_module_aliases(tree: ast.Module) -> Set[str]:
                 for alias in node.names:
                     if alias.name in _OBS_MODULES:
                         aliases.add(alias.asname or alias.name)
-            elif module.endswith(("obs.metrics", "obs.trace")):
+            elif module.endswith(_OBS_SUFFIXES):
                 pass  # "from repro.obs.metrics import ACTIVE" handled below
         elif isinstance(node, ast.Import):
             for alias in node.names:
-                if alias.name.endswith(("obs.metrics", "obs.trace")) \
-                        and alias.asname:
+                if alias.name.endswith(_OBS_SUFFIXES) and alias.asname:
                     aliases.add(alias.asname)
     return aliases
 
@@ -61,7 +65,7 @@ def _active_name_aliases(tree: ast.Module) -> Set[str]:
     for node in ast.walk(tree):
         if isinstance(node, ast.ImportFrom):
             module = node.module or ""
-            if module.endswith(("obs.metrics", "obs.trace")):
+            if module.endswith(_OBS_SUFFIXES):
                 for alias in node.names:
                     if alias.name in ("ACTIVE", "active"):
                         aliases.add(alias.asname or alias.name)
@@ -147,8 +151,7 @@ class ObsGuardRule(AstRule):
         if isinstance(node, ast.Name):
             return node.id in self._module_aliases
         dotted = _dotted(node)
-        return dotted is not None and \
-            dotted.endswith(("obs.metrics", "obs.trace"))
+        return dotted is not None and dotted.endswith(_OBS_SUFFIXES)
 
     # -- statement walk ------------------------------------------------------
 

@@ -53,13 +53,19 @@ def lint_prom_file(path: Path) -> List[Violation]:
 
 
 class PromExpositionRule(FileRule):
-    """RS100 — ``.prom`` files must parse as strict Prometheus text."""
+    """RS100 — ``.prom``/``.scrape`` files must parse as Prometheus text.
+
+    ``.scrape`` is the conventional suffix for bodies saved from the
+    live ``/metrics`` endpoint (``repro.obs.server``), so CI can curl a
+    mid-run scrape to a file and lint it with the same rule that covers
+    ``--metrics-out`` exports.
+    """
 
     id = "RS100"
     name = "prom-exposition"
 
     def applies(self, path: Path) -> bool:
-        return path.suffix == ".prom"
+        return path.suffix in (".prom", ".scrape")
 
     def check_file(self, path: Path, config: Config) -> List[Violation]:
         return lint_prom_file(path)

@@ -1,0 +1,41 @@
+"""Human-readable quantity formatting shared by the CLI and live plane.
+
+One formatter for byte sizes and one for large counts, so every surface
+that talks to a human — ``repro-ecs dataset info``, the ``--live``
+progress line — renders ``1.4 GiB`` and ``3.8B rows`` the same way.
+Report files keep raw integers: humanized strings appear only in
+interactive output, never in anything a determinism diff covers.
+"""
+
+from __future__ import annotations
+
+#: Binary byte-size suffixes, ascending; the last one absorbs overflow.
+_BYTE_UNITS = ("B", "KiB", "MiB", "GiB", "TiB", "PiB")
+
+#: Decimal count suffixes, descending by magnitude (``B`` = billion,
+#: matching the paper's "3.8B queries" phrasing).
+_COUNT_UNITS = ((1e12, "T"), (1e9, "B"), (1e6, "M"), (1e3, "k"))
+
+
+def human_bytes(size: int) -> str:
+    """``1475739648 -> '1.4 GiB'``; sizes below 1 KiB stay exact."""
+    value = float(size)
+    for unit in _BYTE_UNITS:
+        if abs(value) < 1024.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_count(count: int) -> str:
+    """``3_800_000_000 -> '3.8B'``; counts below 1000 stay exact."""
+    value = float(count)
+    for bound, suffix in _COUNT_UNITS:
+        if abs(value) >= bound:
+            scaled = value / bound
+            if abs(scaled) >= 100:
+                return f"{scaled:.0f}{suffix}"
+            return f"{scaled:.1f}{suffix}"
+    return str(int(count))

@@ -135,3 +135,54 @@ def test_main_combined_compare_and_speedup(tmp_path):
     new_path.write_text(json.dumps(doc))
     assert compare_bench.main([str(old_path), str(new_path),
                                "--check-speedup"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# the live-telemetry overhead gate (--check-obs-overhead)
+
+
+def _obs_doc(off_rps, on_rps):
+    return {
+        "replay_allnames_live": {
+            "records": 10_000,
+            "live_off_rps": off_rps,
+            "live_on_rps": on_rps,
+        },
+        "replay_allnames_obs": {"disabled_rps": 100.0, "metrics_rps": 95.0},
+    }
+
+
+def test_obs_overhead_within_bound_passes():
+    lines, failures = compare_bench.check_obs_overhead(
+        _obs_doc(100_000.0, 97_000.0))
+    assert failures == []
+    assert any("live-on/live-off" in line for line in lines)
+
+
+def test_obs_overhead_beyond_bound_fails():
+    _, failures = compare_bench.check_obs_overhead(
+        _obs_doc(100_000.0, 90_000.0))
+    assert len(failures) == 1
+    assert "replay_allnames_live" in failures[0]
+
+
+def test_obs_overhead_custom_bound():
+    doc = _obs_doc(100_000.0, 90_000.0)
+    _, failures = compare_bench.check_obs_overhead(doc, max_overhead=0.15)
+    assert failures == []
+
+
+def test_obs_overhead_skips_samples_without_pair():
+    lines, failures = compare_bench.check_obs_overhead(
+        {"other": {"disabled_rps": 1.0}})
+    assert lines == [] and failures == []
+
+
+def test_main_obs_overhead_mode(tmp_path):
+    path = tmp_path / "BENCH_obs.json"
+    path.write_text(json.dumps(_obs_doc(100_000.0, 99_000.0)))
+    assert compare_bench.main([str(path), "--check-obs-overhead"]) == 0
+    path.write_text(json.dumps(_obs_doc(100_000.0, 80_000.0)))
+    assert compare_bench.main([str(path), "--check-obs-overhead"]) == 1
+    assert compare_bench.main([str(path), "--check-obs-overhead",
+                               "--max-obs-overhead", "0.3"]) == 0

@@ -366,3 +366,50 @@ class TestLifecycleTrace:
                   and s.get("attr_ecs_scope_out") is not None]
         assert scoped, "authoritative spans should report ECS scope out"
         assert all(0 <= s["attr_ecs_scope_out"] <= 128 for s in scoped)
+
+
+class TestHumanUnits:
+    """The shared quantity formatter behind ``dataset info`` and --live."""
+
+    def test_bytes_below_kib_stay_exact(self):
+        from repro.units import human_bytes
+        assert human_bytes(0) == "0 B"
+        assert human_bytes(512) == "512 B"
+
+    def test_bytes_scale_through_binary_units(self):
+        from repro.units import human_bytes
+        assert human_bytes(1536) == "1.5 KiB"
+        assert human_bytes(1_475_739_648) == "1.4 GiB"
+
+    def test_counts_match_paper_phrasing(self):
+        from repro.units import human_count
+        assert human_count(999) == "999"
+        assert human_count(3_800_000_000) == "3.8B"
+        assert human_count(1_250_000) == "1.2M"
+
+
+class TestRenderStats:
+    def _profile(self):
+        import cProfile
+
+        def busy():
+            return sum(range(2000))
+
+        profile = cProfile.Profile()
+        profile.enable()
+        busy()
+        profile.disable()
+        return profile
+
+    def test_top_n_limits_rows(self):
+        from repro.obs.profile import render_stats
+        report = render_stats(self._profile(), top_n=1, title="tiny")
+        body = [line for line in report.splitlines()[2:]
+                if line.strip() and not line.startswith("(")]
+        assert len(body) == 1
+        assert "top 1 by cumulative time" in report
+
+    def test_ordering_is_deterministic(self):
+        from repro.obs.profile import render_stats
+        profile = self._profile()
+        assert render_stats(profile, top_n=5) == render_stats(profile, top_n=5)

@@ -1,0 +1,466 @@
+"""Live telemetry plane: heartbeats, sink accounting, HTTP endpoints,
+timelines.
+
+Covers the repro.obs.live / repro.obs.server / repro.obs.timeline
+triangle plus its engine and CLI integration:
+
+- the loss-tolerant heartbeat protocol (sequence gaps counted, stale
+  redeliveries ignored, non-blocking worker emitters);
+- the scrape endpoint serving parseable Prometheus text whose counters
+  are monotonically non-decreasing across concurrent mid-run scrapes;
+- timeline ring-buffer bounds, JSONL round-trips and Chrome trace-event
+  export;
+- the out-of-band contract: experiment outputs are byte-identical with
+  the live plane on or off, at any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.allnames import AllNamesBuilder
+from repro.engine.executor import run_sharded
+from repro.engine.replay import replay_sharded
+from repro.faults.chaos import run_chaos
+from repro.faults.presets import preset
+from repro.obs import live as obs_live
+from repro.obs.export import parse_prometheus
+from repro.obs.live import (Heartbeat, LiveSink, QueueEmitter, SinkEmitter,
+                            pool_initializer)
+from repro.obs.server import TelemetryServer
+from repro.obs.timeline import (Timeline, TimelineEvent, jsonl_to_chrome,
+                                read_timeline_jsonl, to_chrome_trace,
+                                write_chrome_trace, write_timeline_jsonl)
+
+
+@pytest.fixture(autouse=True)
+def _live_plane_off():
+    """Every test starts and ends with the live plane deactivated."""
+    previous = obs_live.deactivate()
+    yield
+    obs_live.activate(previous)
+
+
+def _beat(seq, pid=100, kind="progress", **kwargs):
+    return Heartbeat(seq=seq, pid=pid, ts=time.monotonic(), kind=kind,
+                     **kwargs)
+
+
+class TestHeartbeatProtocol:
+    def test_emitter_sequences_increment_per_emitter(self):
+        sink = LiveSink()
+        emitter = SinkEmitter(sink)
+        emitter.run_start("t", shards=2)
+        emitter.shard_start("t", 0)
+        emitter.shard_end("t", 0, records=10, seconds=0.5)
+        assert sink.heartbeats == 3
+        assert sink.lost == 0 and sink.stale == 0
+
+    def test_sequence_gaps_count_as_lost(self):
+        sink = LiveSink()
+        sink.offer(_beat(1))
+        sink.offer(_beat(5))           # 2,3,4 dropped in transit
+        assert sink.lost == 3
+        assert sink.heartbeats == 2
+
+    def test_stale_redelivery_ignored(self):
+        sink = LiveSink()
+        sink.offer(_beat(2, kind="shard_start", task="t"))
+        sink.offer(_beat(2, kind="shard_start", task="t"))  # duplicate
+        sink.offer(_beat(1, kind="shard_start", task="t"))  # reordered
+        assert sink.stale == 2
+        status = sink.run_status()
+        assert status["tasks"]["t"]["started"] == 1
+        assert status["heartbeats"]["stale"] == 2
+
+    def test_per_worker_sequences_are_independent(self):
+        sink = LiveSink()
+        sink.offer(_beat(1, pid=100))
+        sink.offer(_beat(1, pid=200))
+        assert sink.lost == 0 and sink.stale == 0
+        assert set(sink.run_status()["workers"]) == {"100", "200"}
+
+    def test_queue_emitter_never_raises_on_dead_channel(self):
+        class _Closed:
+            def put_nowait(self, item):
+                raise ValueError("queue is closed")
+
+        emitter = QueueEmitter(_Closed())
+        emitter.run_start("t", shards=1)   # must not raise
+        emitter.shard_end("t", 0, records=1, seconds=0.1)
+
+    def test_worker_channel_round_trip(self):
+        sink = LiveSink()
+        channel = SinkEmitter(sink).worker_channel()
+        QueueEmitter(channel).shard_end("t", 3, records=7, seconds=0.2)
+        deadline = time.monotonic() + 5.0
+        while sink.heartbeats == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        sink.close()
+        assert sink.heartbeats == 1
+        assert sink.run_status()["tasks"]["t"]["done"] == 1
+
+    def test_close_drains_residual_beats(self):
+        sink = LiveSink()
+        channel = sink.worker_channel()
+        emitter = QueueEmitter(channel)
+        for shard in range(5):
+            emitter.shard_end("t", shard, records=1, seconds=0.0)
+        sink.close()   # folds anything the drain thread had not consumed
+        assert sink.run_status()["tasks"]["t"]["done"] == 5
+        sink.close()   # idempotent
+
+    def test_pool_initializer_none_when_plane_inactive(self):
+        assert obs_live.ACTIVE is None
+        assert pool_initializer() is None
+
+    def test_pool_initializer_installs_queue_emitter(self):
+        sink = LiveSink()
+        obs_live.activate(SinkEmitter(sink))
+        init = pool_initializer()
+        assert init is not None
+        initializer, initargs = init
+        initializer(*initargs)   # what each fresh worker process runs
+        assert isinstance(obs_live.ACTIVE, QueueEmitter)
+        obs_live.deactivate()
+        sink.close()
+
+
+class TestSinkRegistry:
+    def test_lifecycle_beats_build_counters(self):
+        sink = LiveSink()
+        emitter = SinkEmitter(sink)
+        emitter.run_start("replay:t", shards=2)
+        emitter.dispatch("replay:t", shard=0, shards=2, payload_bytes=64,
+                         queue_depth=1)
+        for shard in (0, 1):
+            emitter.shard_start("replay:t", shard)
+            emitter.shard_end("replay:t", shard, records=50, seconds=0.1)
+        emitter.run_end("replay:t", records=100)
+        text = sink.registry_snapshot()
+        rendered = {i.name: i for i in text.instruments()}
+        assert rendered["repro_live_shards_done_total"].samples()[
+            ("replay:t",)] == 2
+        assert rendered["repro_live_records_total"].samples()[
+            ("replay:t",)] == 100
+        assert rendered["repro_live_payload_bytes_total"].samples()[
+            ("replay:t",)] == 64
+        status = sink.run_status()
+        assert status["tasks"]["replay:t"] == {
+            "shards_total": 2, "dispatched": 2, "started": 2, "done": 2,
+            "in_flight": 0, "records": 100, "payload_bytes": 64}
+
+    def test_shard_registries_merge_exactly_once(self):
+        from repro.obs.metrics import MetricsRegistry
+        sink = LiveSink()
+        emitter = SinkEmitter(sink)
+        shard_reg = MetricsRegistry()
+        shard_reg.counter("repro_faults_total", "h").inc(4.0)
+        emitter.shard_end("t", 0, records=1, seconds=0.1,
+                          metrics=shard_reg)
+        snapshot = sink.registry_snapshot()
+        fault = [i for i in snapshot.instruments()
+                 if i.name == "repro_faults_total"]
+        assert fault and fault[0].samples()[()] == 4.0
+        # the /run status surfaces the fault counter
+        assert sink.run_status()["counters"]["repro_faults_total"] == 4.0
+
+    def test_status_reports_worker_utilization(self):
+        sink = LiveSink()
+        sink.offer(_beat(1, pid=7, kind="shard_end", task="t",
+                         records=1, seconds=2.0, rss_kb=1024,
+                         cpu_seconds=1.5))
+        worker = sink.run_status()["workers"]["7"]
+        assert worker["busy_seconds"] == 2.0
+        assert worker["rss_kb"] == 1024
+        assert worker["cpu_seconds"] == 1.5
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return AllNamesBuilder(scale=0.02, seed=3).build().records
+
+    def test_inline_run_emits_lifecycle_beats(self, records):
+        sink = LiveSink()
+        obs_live.activate(SinkEmitter(sink))
+        try:
+            with_live, _ = replay_sharded(records, "allnames", shards=4)
+        finally:
+            obs_live.deactivate()
+            sink.close()
+        without_live, _ = replay_sharded(records, "allnames", shards=4)
+        assert with_live == without_live
+        status = sink.run_status()["tasks"]["replay:allnames"]
+        assert status == {"shards_total": 4, "dispatched": 0, "started": 4,
+                          "done": 4, "in_flight": 0,
+                          "records": len(records), "payload_bytes": 0}
+
+    def test_pooled_run_streams_worker_heartbeats(self, records):
+        sink = LiveSink()
+        obs_live.activate(SinkEmitter(sink))
+        try:
+            with_live, _ = replay_sharded(records, "allnames", shards=4,
+                                          workers=2)
+        finally:
+            obs_live.deactivate()
+            sink.close()
+        without_live, _ = replay_sharded(records, "allnames", shards=4,
+                                         workers=2)
+        assert with_live == without_live
+        status = sink.run_status()
+        task = status["tasks"]["replay:allnames"]
+        assert task["done"] == 4 and task["dispatched"] == 4
+        assert task["payload_bytes"] > 0
+        # worker processes appear alongside the parent
+        assert len(status["workers"]) >= 2
+
+    def test_chaos_report_identical_with_live_plane(self):
+        plan = preset("lossy")
+        result, _ = run_chaos(plan, seed=1, fault_seed=7, ingress=24,
+                              shards=4)
+        sink = LiveSink()
+        obs_live.activate(SinkEmitter(sink))
+        try:
+            live_result, _ = run_chaos(plan, seed=1, fault_seed=7,
+                                       ingress=24, shards=4, workers=2)
+        finally:
+            obs_live.deactivate()
+            sink.close()
+        assert live_result.report() == result.report()
+        # chaos shards emitted universe + progress events
+        kinds = {e.kind for e in sink.timeline.events()}
+        assert "chaos_universe" in kinds and "progress" in kinds
+
+
+def _fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type"), \
+            resp.read().decode("utf-8")
+
+
+class TestTelemetryServer:
+    def test_routes(self):
+        sink = LiveSink()
+        SinkEmitter(sink).run_start("t", shards=3)
+        server = TelemetryServer(sink)
+        port = server.start()
+        try:
+            status, ctype, body = _fetch(
+                f"http://127.0.0.1:{port}/metrics")
+            assert status == 200 and ctype.startswith("text/plain")
+            families = parse_prometheus(body)
+            assert "repro_live_heartbeats_total" in families
+            assert "repro_live_uptime_seconds" in families
+
+            status, _, body = _fetch(f"http://127.0.0.1:{port}/healthz")
+            assert status == 200 and body == "ok\n"
+
+            status, ctype, body = _fetch(f"http://127.0.0.1:{port}/run")
+            assert status == 200 and ctype.startswith("application/json")
+            doc = json.loads(body)
+            assert doc["tasks"]["t"]["shards_total"] == 3
+            assert doc["heartbeats"]["received"] == 1
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _fetch(f"http://127.0.0.1:{port}/nope")
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()
+            sink.close()
+
+    def test_start_stop_idempotent(self):
+        sink = LiveSink()
+        server = TelemetryServer(sink)
+        port = server.start()
+        assert server.start() == port
+        server.stop()
+        server.stop()
+        sink.close()
+
+    def test_concurrent_scrapes_see_monotone_counters(self):
+        """Scrape while a sharded run is in flight: every body parses and
+        every counter is non-decreasing scrape over scrape."""
+        sink = LiveSink()
+        server = TelemetryServer(sink)
+        port = server.start()
+        obs_live.activate(SinkEmitter(sink))
+        done = threading.Event()
+
+        def run():
+            try:
+                run_sharded(_slow_shard, [(i,) for i in range(6)],
+                            task="slow")
+            finally:
+                done.set()
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        seen = []
+        try:
+            while not done.is_set():
+                _, _, body = _fetch(f"http://127.0.0.1:{port}/metrics")
+                families = parse_prometheus(body)   # always well-formed
+                counters = {
+                    (name, tuple(sorted(labels.items()))): value
+                    for name, info in families.items()
+                    if info["type"] == "counter"
+                    for name, labels, value in info["samples"]}
+                seen.append(counters)
+                time.sleep(0.01)
+        finally:
+            worker.join()
+            obs_live.deactivate()
+            server.stop()
+            sink.close()
+        assert len(seen) >= 2
+        for before, after in zip(seen, seen[1:]):
+            for key, value in before.items():
+                assert after.get(key, value) >= value
+        final = sink.run_status()["tasks"]["slow"]
+        assert final["done"] == 6
+
+
+def _slow_shard(index):
+    time.sleep(0.02)
+    return [index]
+
+
+class TestTimeline:
+    def test_ring_buffer_counts_drops(self):
+        timeline = Timeline(capacity=4)
+        for i in range(7):
+            timeline.add(TimelineEvent(ts=float(i), kind="progress",
+                                       name=f"e{i}"))
+        assert len(timeline) == 4
+        assert timeline.dropped == 3
+        assert [e.name for e in timeline.events()] == \
+            ["e3", "e4", "e5", "e6"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        events = [
+            TimelineEvent(ts=1.0, kind="run_start", name="t", pid=42),
+            TimelineEvent(ts=1.5, kind="shard_end", name="t[0]", pid=42,
+                          shard=0, dur=0.5, attrs={"records": 10}),
+        ]
+        path = tmp_path / "timeline.jsonl"
+        write_timeline_jsonl(events, path, dropped=2)
+        lines = path.read_text().splitlines()
+        summary = json.loads(lines[-1])
+        assert summary == {"event": "timeline_summary", "events": 2,
+                           "dropped": 2}
+        loaded = read_timeline_jsonl(path)
+        assert [e.kind for e in loaded] == ["run_start", "shard_end"]
+        assert loaded[1].attrs["records"] == 10
+        assert loaded[1].dur == 0.5 and loaded[1].shard == 0
+
+    def test_chrome_trace_structure(self):
+        events = [
+            TimelineEvent(ts=10.0, kind="run_start", name="t", pid=1),
+            TimelineEvent(ts=10.2, kind="shard_end", name="t[0]", pid=2,
+                          shard=0, dur=0.2, attrs={"records": 5}),
+        ]
+        doc = to_chrome_trace(events)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        by_name = {e["name"]: e for e in doc["traceEvents"]}
+        instant = by_name["t"]
+        assert instant["ph"] == "i" and instant["ts"] == 0
+        slice_ = by_name["t[0]"]
+        assert slice_["ph"] == "X"
+        assert slice_["dur"] == pytest.approx(200_000)  # 0.2s in us
+        assert slice_["args"]["records"] == 5
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        events = [TimelineEvent(ts=0.0, kind="run_start", name="t")]
+        path = tmp_path / "trace.json"
+        write_chrome_trace(events, path)
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_jsonl_to_chrome_conversion(self, tmp_path):
+        events = [
+            TimelineEvent(ts=0.0, kind="run_start", name="t"),
+            TimelineEvent(ts=0.5, kind="shard_end", name="t[1]", shard=1,
+                          dur=0.25),
+        ]
+        src = tmp_path / "timeline.jsonl"
+        dst = tmp_path / "trace.json"
+        write_timeline_jsonl(events, src, dropped=0)
+        count = jsonl_to_chrome(src, dst)
+        assert count == 2
+        doc = json.loads(dst.read_text())
+        assert len(doc["traceEvents"]) == 2
+
+    def test_deterministic_ordering(self):
+        a = TimelineEvent(ts=1.0, kind="b", name="x")
+        b = TimelineEvent(ts=1.0, kind="a", name="x")
+        forward = to_chrome_trace([a, b])
+        backward = to_chrome_trace([b, a])
+        assert forward == backward
+
+
+class TestScrapeValidation:
+    def test_duplicate_type_rejected(self):
+        body = ("# TYPE repro_x counter\nrepro_x 1\n"
+                "# TYPE repro_x counter\nrepro_x 2\n")
+        with pytest.raises(ValueError, match="duplicate # TYPE"):
+            parse_prometheus(body)
+
+
+class TestCliLivePlane:
+    def test_serve_metrics_and_timeline_flags(self, tmp_path, capsys):
+        out = tmp_path / "reports"
+        timeline = tmp_path / "timeline.json"
+        rc = main(["--out", str(out), "--serve-metrics", "0",
+                   "--timeline-out", str(timeline),
+                   "chaos", "--preset", "lossy", "--fault-seed", "7",
+                   "--ingress", "16", "--shards", "4"])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "serving live telemetry" in captured
+        assert "timeline events" in captured
+        doc = json.loads(timeline.read_text())
+        assert doc["traceEvents"]
+        kinds = {e.get("name", "") for e in doc["traceEvents"]}
+        assert any(name.startswith("chaos[lossy]") for name in kinds)
+
+    def test_timeline_jsonl_suffix(self, tmp_path):
+        timeline = tmp_path / "timeline.jsonl"
+        rc = main(["--quiet", "--timeline-out", str(timeline),
+                   "chaos", "--preset", "heavy-loss", "--ingress", "8",
+                   "--shards", "2"])
+        assert rc == 0
+        lines = timeline.read_text().splitlines()
+        assert json.loads(lines[-1])["event"] == "timeline_summary"
+
+    def test_live_flag_writes_progress_to_stderr(self, tmp_path, capsys):
+        rc = main(["--quiet", "--live", "chaos", "--preset", "lossy",
+                   "--ingress", "8", "--shards", "2"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "[live]" in captured.err
+        assert captured.err.endswith("\n")
+
+    def test_outputs_identical_with_and_without_live(self, tmp_path):
+        base = ["--quiet", "generate", "allnames"]
+        tail = ["--scale", "0.02", "--shards", "4"]
+        plain = tmp_path / "plain.jsonl"
+        lively = tmp_path / "live.jsonl"
+        assert main(base + [str(plain)] + tail) == 0
+        assert main(["--quiet", "--timeline-out",
+                     str(tmp_path / "tl.jsonl"), "generate", "allnames",
+                     str(lively)] + tail + ["--workers", "2"]) == 0
+        assert plain.read_bytes() == lively.read_bytes()
+
+    def test_live_plane_restored_after_command(self):
+        assert obs_live.ACTIVE is None
+        assert main(["--quiet", "--live", "caching",
+                     "--ingress", "10"]) == 0
+        assert obs_live.ACTIVE is None

@@ -177,6 +177,7 @@ class TestMergeCompletenessRule:
 
 
 OBS_PREFIX = "from repro.obs import metrics as _obs_metrics\n"
+LIVE_PREFIX = "from repro.obs import live as _obs_live\n"
 
 
 class TestObsGuardRule:
@@ -247,6 +248,39 @@ class TestObsGuardRule:
         assert lint(src, path="src/repro/obs/helper.py",
                     rule_ids=["RS003"]) == []
         assert lint(src, path="tests/test_x.py", rule_ids=["RS003"]) == []
+
+    def test_live_slot_guard_idiom_clean(self):
+        src = LIVE_PREFIX + (
+            "def f():\n"
+            "    emitter = _obs_live.ACTIVE\n"
+            "    if emitter is not None:\n"
+            "        emitter.run_start('t', shards=4)\n")
+        assert lint(src, rule_ids=["RS003"]) == []
+
+    def test_live_slot_unguarded_use_flagged(self):
+        src = LIVE_PREFIX + (
+            "def f():\n"
+            "    emitter = _obs_live.ACTIVE\n"
+            "    emitter.run_start('t', shards=4)\n")
+        violations = lint(src, rule_ids=["RS003"])
+        assert ids_of(violations) == ["RS003"]
+        assert "'emitter'" in violations[0].message
+
+    def test_live_slot_inline_use_flagged(self):
+        src = LIVE_PREFIX + (
+            "def f():\n"
+            "    _obs_live.ACTIVE.shard_start('t', 0)\n")
+        violations = lint(src, rule_ids=["RS003"])
+        assert ids_of(violations) == ["RS003"]
+        assert "inline" in violations[0].message
+
+    def test_live_slot_truthiness_guard_flagged(self):
+        src = LIVE_PREFIX + (
+            "def f():\n"
+            "    emitter = _obs_live.ACTIVE\n"
+            "    if emitter:\n"
+            "        emitter.progress('t', 0, records=1)\n")
+        assert ids_of(lint(src, rule_ids=["RS003"])) == ["RS003", "RS003"]
 
 
 # ---------------------------------------------------------------------------
@@ -407,6 +441,26 @@ class TestPromRule:
         (tmp_path / "mod.py").write_text("x = 1\n")
         violations, files = lint_paths([tmp_path])
         assert violations == [] and files == 1
+
+    def test_scrape_suffix_covered(self, tmp_path):
+        # Bodies saved from the live /metrics endpoint lint as .scrape.
+        good = tmp_path / "mid-run.scrape"
+        good.write_text(VALID_PROM)
+        violations, files = lint_paths([good])
+        assert violations == [] and files == 1
+        bad = tmp_path / "broken.scrape"
+        bad.write_text(INVALID_PROM)
+        violations, _ = lint_paths([bad])
+        assert ids_of(violations) == ["RS100"]
+
+    def test_concatenated_scrapes_rejected(self, tmp_path):
+        # Two scrape bodies glued together redeclare every # TYPE —
+        # the strict parser calls that out instead of merging them.
+        path = tmp_path / "double.scrape"
+        path.write_text(VALID_PROM + VALID_PROM)
+        violations, _ = lint_paths([path])
+        assert ids_of(violations) == ["RS100"]
+        assert "duplicate # TYPE" in violations[0].message
 
 
 # ---------------------------------------------------------------------------
