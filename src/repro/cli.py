@@ -18,7 +18,8 @@ convert     convert a trace between JSONL and the columnar format
 dataset     inspect an on-disk trace file (``dataset info FILE``)
 chaos       run the scan campaign under a fault-injection preset
 all         every analysis command, sequentially
-lint        run the repro.staticcheck invariant linter (RS001-RS100)
+lint        run the repro.staticcheck invariant linter (RS001-RS100,
+            interprocedural RS201-RS204 under --graph)
 
 Every command accepts ``--seed`` and a size knob and writes rendered
 reports to ``--out`` (default: print to stdout only); ``--quiet``

@@ -52,6 +52,11 @@ from .records import (AllNamesRecord, CdnQueryRecord, PublicCdnRecord,
                       RootQueryRecord, ScanQueryRecord, iter_jsonl,
                       write_jsonl)
 
+#: Declared for the whole-program linter (RS202): a store wraps an
+#: mmap'd file, so instances must never cross a pickle boundary —
+#: workers reopen by path (see ``repro.engine.replay._columnar_store``).
+STATICCHECK_UNPICKLABLE = ("repro.datasets.columnar:ColumnarStore",)
+
 #: File magic: format name + two-digit major version.
 MAGIC = b"RPRCOL01"
 #: Header ``version`` field; bump on any incompatible layout change.

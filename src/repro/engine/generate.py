@@ -43,7 +43,7 @@ from ..datasets.records import merge_jsonl_shards, shard_path, write_jsonl
 from ..obs import live as _obs_live
 from ..obs import metrics as _obs_metrics
 from .executor import EngineReport, run_sharded
-from .pool import WorkerPool
+from .pool import WorkerPool, worker_entrypoint
 from .sharding import DEFAULT_SHARDS, ShardSpec
 
 
@@ -81,6 +81,7 @@ def _count_generated(builder: ShardableBuilder,
     return records
 
 
+@worker_entrypoint
 def _build_shard(builder: ShardableBuilder, shard_index: int,
                  shard_count: int) -> List[Any]:
     """Worker entry point; module-level so it pickles by reference."""
@@ -88,6 +89,7 @@ def _build_shard(builder: ShardableBuilder, shard_index: int,
                             builder.build_shard(shard_index, shard_count))
 
 
+@worker_entrypoint
 def _build_shard_from_spec(spec: ShardSpec, shard_index: int) -> List[Any]:
     """Worker entry point for spec dispatch: rebuild, then build."""
     builder = spec.make_builder()
@@ -96,6 +98,7 @@ def _build_shard_from_spec(spec: ShardSpec, shard_index: int) -> List[Any]:
                                                 spec.shard_count))
 
 
+@worker_entrypoint
 def _write_shard_from_spec(spec: ShardSpec, out_base: str,
                            shard_index: int) -> int:
     """Worker entry point: build one shard and write its JSONL file.
@@ -108,6 +111,7 @@ def _write_shard_from_spec(spec: ShardSpec, out_base: str,
     return write_jsonl(records, shard_path(out_base, shard_index))
 
 
+@worker_entrypoint
 def _write_columnar_shard_from_spec(spec: ShardSpec, out_base: str,
                                     schema: str, shard_index: int) -> int:
     """Worker entry point: build one shard, write its columnar sibling.

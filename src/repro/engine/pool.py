@@ -40,12 +40,64 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from types import TracebackType
-from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+from typing import (Any, Callable, Dict, List, Optional, Tuple, Type,
+                    TypeVar)
 
 from ..obs import live as _obs_live
 
 #: The two pool lifecycles the CLI exposes via ``--pool``.
 POOL_MODES = ("persistent", "spawn-per-batch")
+
+# ---------------------------------------------------------------------------
+# Analyzer introspection hooks.
+#
+# The whole-program linter (``repro.staticcheck.graph``) reads these
+# declarations instead of hard-coding engine internals: which functions
+# are worker entrypoints, which call edges cross a pickle boundary, and
+# which extra seeds the worker-reachability closure starts from.  The
+# declarations live *here*, next to the machinery they describe, so the
+# engine and the analyzer cannot drift apart.
+
+#: ``"module:qualname"`` of every function decorated as a worker
+#: entrypoint, in registration (import) order.
+WORKER_ENTRYPOINTS: List[str] = []
+
+#: Call edges whose arguments are pickled for dispatch.  Entries are
+#: ``"module:Qual"`` naming a function, method, or class constructor;
+#: an optional ``"#kw1,kw2"`` suffix restricts the check to the named
+#: parameters (``run_sharded`` pickles ``shard_args``/``shared`` but
+#: its ``count_of`` callback stays in the parent).
+PICKLE_BOUNDARIES: Tuple[str, ...] = (
+    "repro.engine.sharding:ShardSpec",
+    "repro.engine.sharding:ShardSpec.create",
+    "repro.engine.pool:encode_header",
+    "repro.engine.pool:encode_shard_args",
+    "repro.engine.executor:run_sharded#shard_args,shared",
+    "repro.obs.live:LiveEmitter.event",
+)
+
+#: Extra worker-reachability roots beyond ``@worker_entrypoint`` and the
+#: builder registry: methods invoked inside workers by contract.
+WORKER_SEEDS: Tuple[str, ...] = (
+    "repro.faults.plan:FaultPlan.bind",
+)
+
+#: Typed alias so the decorator preserves the wrapped signature.
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def worker_entrypoint(fn: _F) -> _F:
+    """Mark ``fn`` as a function the pool dispatches into workers.
+
+    Purely declarative: the function is returned unchanged (no wrapper,
+    so ``fn_token`` addressing still works) and its ``module:qualname``
+    is recorded in :data:`WORKER_ENTRYPOINTS`.  The static analyzer
+    seeds its worker-reachability closure from these declarations.
+    """
+    token = f"{fn.__module__}:{fn.__qualname__}"
+    if token not in WORKER_ENTRYPOINTS:
+        WORKER_ENTRYPOINTS.append(token)
+    return fn
 
 
 class PoolError(RuntimeError):

@@ -40,7 +40,7 @@ from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs_trace
 from .executor import EngineReport, run_sharded
 from .generate import generate_columnar
-from .pool import WorkerPool
+from .pool import WorkerPool, worker_entrypoint
 from .sharding import (DEFAULT_SHARDS, ShardSpec, partition_by_key,
                        stable_bucket)
 
@@ -217,6 +217,7 @@ def replay_sharded(records: Sequence[Any], kind: str,
     return merge_partials(partials), report
 
 
+@worker_entrypoint
 def _replay_shard_of_kind(kind: str, records: List[Any]) -> ReplayPartial:
     """Worker entry point with ``kind`` as shared run state."""
     return _replay_shard(records, kind)
@@ -244,6 +245,7 @@ def _parse_lines(kind: str, lines: Sequence[str]) -> List[Any]:
     return [record_type(**json.loads(line)) for line in lines]
 
 
+@worker_entrypoint
 def _replay_lines_shard(kind: str, lines: List[str]) -> ReplayPartial:
     """Worker entry point: parse one shard's JSONL lines, then replay.
 
@@ -315,6 +317,7 @@ def _columnar_store(path: str) -> ColumnarStore:
     return _columnar_store_cached(path, stat.st_size, stat.st_mtime_ns)
 
 
+@worker_entrypoint
 def _replay_columnar_shard(path: str, kind: str, shards: int,
                            bucket: int) -> ReplayPartial:
     """Worker entry point: replay one qname bucket of a mapped trace.

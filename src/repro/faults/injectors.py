@@ -69,7 +69,7 @@ class PacketLossSpec:
 
 
 class _BoundLoss(BoundInjector):
-    def __init__(self, spec: PacketLossSpec, rng: random.Random):
+    def __init__(self, spec: PacketLossSpec, rng: random.Random) -> None:
         self.spec = spec
         self.rng = rng
 
@@ -117,7 +117,7 @@ class BurstLossSpec:
 
 
 class _BoundBurstLoss(BoundInjector):
-    def __init__(self, spec: BurstLossSpec, rng: random.Random):
+    def __init__(self, spec: BurstLossSpec, rng: random.Random) -> None:
         self.spec = spec
         self.rng = rng
         self._burst: Dict[Tuple[str, str], bool] = {}
@@ -172,7 +172,7 @@ class LatencyJitterSpec:
 
 
 class _BoundJitter(BoundInjector):
-    def __init__(self, spec: LatencyJitterSpec, rng: random.Random):
+    def __init__(self, spec: LatencyJitterSpec, rng: random.Random) -> None:
         self.spec = spec
         self.rng = rng
 
@@ -200,7 +200,7 @@ class LatencySpikeSpec:
 
 
 class _BoundSpike(BoundInjector):
-    def __init__(self, spec: LatencySpikeSpec, rng: random.Random):
+    def __init__(self, spec: LatencySpikeSpec, rng: random.Random) -> None:
         self.spec = spec
         self.rng = rng
 
@@ -232,7 +232,7 @@ class TruncationSpec:
 
 
 class _BoundTruncation(BoundInjector):
-    def __init__(self, spec: TruncationSpec, rng: random.Random):
+    def __init__(self, spec: TruncationSpec, rng: random.Random) -> None:
         self.spec = spec
         self.rng = rng
 
@@ -270,7 +270,7 @@ class RcodeFaultSpec:
 
 
 class _BoundRcodeFault(BoundInjector):
-    def __init__(self, spec: RcodeFaultSpec, rng: random.Random):
+    def __init__(self, spec: RcodeFaultSpec, rng: random.Random) -> None:
         self.spec = spec
         self.rng = rng
         self._label = f"rcode-{spec.rcode.name.lower()}"
@@ -305,7 +305,7 @@ class EcsStripSpec:
 
 
 class _BoundEcsStrip(BoundInjector):
-    def __init__(self, spec: EcsStripSpec, rng: random.Random):
+    def __init__(self, spec: EcsStripSpec, rng: random.Random) -> None:
         self.spec = spec
         self.rng = rng
 
@@ -346,7 +346,7 @@ class OutageSpec:
 
 
 class _BoundOutage(BoundInjector):
-    def __init__(self, spec: OutageSpec):
+    def __init__(self, spec: OutageSpec) -> None:
         self.spec = spec
 
     def _blackout(self, dst_ip: str, now: float) -> Optional[FaultAction]:

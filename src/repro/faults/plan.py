@@ -81,7 +81,7 @@ class BoundPlan:
     """
 
     def __init__(self, name: str,
-                 injectors: Tuple[BoundInjectorLike, ...]):
+                 injectors: Tuple[BoundInjectorLike, ...]) -> None:
         self.name = name
         self.injectors = injectors
         self.injected: Dict[str, int] = {}

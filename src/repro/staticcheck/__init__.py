@@ -10,10 +10,15 @@ relying on review discipline:
 - :mod:`repro.staticcheck.core` — rule registry, per-file AST dispatch,
   ``# repro-lint: disable=RULE`` suppressions with unused-suppression
   detection.
-- :mod:`repro.staticcheck.rules` — the domain rules RS001-RS005 plus
-  the non-AST Prometheus exposition rule RS100.
-- :mod:`repro.staticcheck.reporters` — text and schema-stable JSON
-  output.
+- :mod:`repro.staticcheck.rules` — the domain rules RS001-RS005, the
+  non-AST Prometheus exposition rule RS100, and the interprocedural
+  family RS201-RS204 (worker-reachability determinism, pickle
+  safety, merge reachability, obs-slot escape).
+- :mod:`repro.staticcheck.graph` — the whole-program pass behind
+  ``--graph``: project index, approximate call graph, incremental
+  SHA-256 cache, WorkerPool-parallel indexing.
+- :mod:`repro.staticcheck.reporters` — text, schema-stable JSON, and
+  SARIF 2.1.0 output.
 - :mod:`repro.staticcheck.config` — ``[tool.repro-staticcheck]`` in
   ``pyproject.toml``.
 
@@ -25,15 +30,17 @@ rule.
 from __future__ import annotations
 
 from .config import Config, load_config
-from .core import (SYNTAX_ID, UNUSED_ID, AstRule, FileRule, LintContext,
-                   Violation, all_rule_ids, ast_rules, file_rules,
-                   lint_paths, lint_source, register)
-from .reporters import (SCHEMA_VERSION, render_json, render_text,
-                        violations_to_dict)
+from .core import (SYNTAX_ID, UNUSED_ID, AstRule, FileRule, GraphRule,
+                   LintContext, Violation, all_rule_ids, ast_rules,
+                   file_rules, graph_rules, lint_paths, lint_source,
+                   register)
+from .reporters import (SCHEMA_VERSION, render_json, render_sarif,
+                        render_text, violations_to_dict)
 
 __all__ = [
-    "AstRule", "Config", "FileRule", "LintContext", "SCHEMA_VERSION",
-    "SYNTAX_ID", "UNUSED_ID", "Violation", "all_rule_ids", "ast_rules",
-    "file_rules", "lint_paths", "lint_source", "load_config",
-    "render_json", "render_text", "register", "violations_to_dict",
+    "AstRule", "Config", "FileRule", "GraphRule", "LintContext",
+    "SCHEMA_VERSION", "SYNTAX_ID", "UNUSED_ID", "Violation",
+    "all_rule_ids", "ast_rules", "file_rules", "graph_rules",
+    "lint_paths", "lint_source", "load_config", "render_json",
+    "render_sarif", "render_text", "register", "violations_to_dict",
 ]

@@ -26,7 +26,7 @@ import re
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .config import Config
 
@@ -53,6 +53,17 @@ class Violation:
     def render(self) -> str:
         return (f"{self.path}:{self.line}:{self.col}: "
                 f"{self.rule_id} [{self.rule_name}] {self.message}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-cache form (field order pinned for byte-stable caches)."""
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule_id": self.rule_id, "rule_name": self.rule_name,
+                "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Violation":
+        return cls(data["path"], data["line"], data["col"],
+                   data["rule_id"], data["rule_name"], data["message"])
 
 
 class LintContext:
@@ -110,24 +121,56 @@ class FileRule:
         raise NotImplementedError
 
 
+class GraphRule:
+    """Base class for whole-program rules over the project index.
+
+    Graph rules run only under ``--graph`` (:mod:`repro.staticcheck.graph`
+    builds the index and drives them); they are registered here so the
+    selection machinery, ``--list-rules`` and unused-suppression
+    accounting treat RS2xx exactly like the per-file families.
+    ``closure_cacheable`` marks rules whose findings for a module depend
+    only on that module's forward import closure — those re-run only on
+    the closure a change touched; the rest re-run whole-program (their
+    findings depend on reverse reachability, which any module can alter).
+    """
+
+    id: str = ""
+    name: str = ""
+    closure_cacheable: bool = False
+
+    def check_project(self, project: "object",
+                      config: Config) -> List[Violation]:
+        raise NotImplementedError
+
+    def check_module(self, project: "object", module: "object",
+                     config: Config) -> List[Violation]:
+        """Per-module entry for ``closure_cacheable`` rules."""
+        raise NotImplementedError
+
+
 _AST_RULES: Dict[str, AstRule] = {}
 _FILE_RULES: Dict[str, FileRule] = {}
+_GRAPH_RULES: Dict[str, GraphRule] = {}
 
 
-def register(rule: "AstRule | FileRule") -> "AstRule | FileRule":
+def _register_into(registry: Dict[str, Any], rule: Any) -> None:
+    existing = registry.get(rule.id)
+    if existing is not None and type(existing) is not type(rule):
+        raise ValueError(f"rule id {rule.id} registered twice")
+    registry[rule.id] = rule
+
+
+def register(rule: "AstRule | FileRule | GraphRule"
+             ) -> "AstRule | FileRule | GraphRule":
     """Add ``rule`` to the registry (idempotent per rule ID)."""
     if not rule.id or not rule.name:
         raise ValueError(f"rule {rule!r} must declare id and name")
     if isinstance(rule, AstRule):
-        existing: Optional[object] = _AST_RULES.get(rule.id)
-        if existing is not None and type(existing) is not type(rule):
-            raise ValueError(f"rule id {rule.id} registered twice")
-        _AST_RULES[rule.id] = rule
+        _register_into(_AST_RULES, rule)
+    elif isinstance(rule, GraphRule):
+        _register_into(_GRAPH_RULES, rule)
     else:
-        existing = _FILE_RULES.get(rule.id)
-        if existing is not None and type(existing) is not type(rule):
-            raise ValueError(f"rule id {rule.id} registered twice")
-        _FILE_RULES[rule.id] = rule
+        _register_into(_FILE_RULES, rule)
     return rule
 
 
@@ -141,9 +184,14 @@ def file_rules() -> List[FileRule]:
     return [_FILE_RULES[rid] for rid in sorted(_FILE_RULES)]
 
 
+def graph_rules() -> List[GraphRule]:
+    _ensure_rules_loaded()
+    return [_GRAPH_RULES[rid] for rid in sorted(_GRAPH_RULES)]
+
+
 def all_rule_ids() -> List[str]:
     _ensure_rules_loaded()
-    return sorted([*_AST_RULES, *_FILE_RULES])
+    return sorted([*_AST_RULES, *_FILE_RULES, *_GRAPH_RULES])
 
 
 def _ensure_rules_loaded() -> None:
@@ -199,6 +247,29 @@ class Suppressions:
             return True
         return False
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-cache form; ``used`` is deliberately not persisted (it is
+        per-run settlement state, not a property of the file)."""
+        return {
+            "by_line": {str(line): sorted(ids)
+                        for line, ids in sorted(self.by_line.items())},
+            "file_level": sorted(self.file_level),
+            "declared_at": [[line, rule_id, comment]
+                            for (line, rule_id), comment
+                            in sorted(self.declared_at.items())],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Suppressions":
+        table = cls()
+        table.by_line = {int(line): set(ids)
+                         for line, ids in data["by_line"].items()}
+        table.file_level = set(data["file_level"])
+        table.declared_at = {(line, rule_id): comment
+                             for line, rule_id, comment
+                             in data["declared_at"]}
+        return table
+
     def unused(self, active_ids: Set[str]) -> List[Tuple[int, str]]:
         """(comment line, rule id) of suppressions that silenced nothing.
 
@@ -244,13 +315,27 @@ def parse_suppressions(source: str) -> Suppressions:
 # the per-file driver
 
 
-def lint_source(source: str, path: str, config: Optional[Config] = None,
-                rule_ids: Optional[Sequence[str]] = None) -> List[Violation]:
-    """Lint one Python source string; returns sorted violations.
+@dataclass
+class FileAnalysis:
+    """One Python file's per-file findings, before suppression settlement.
 
-    ``rule_ids`` restricts the run (mainly for tests); it composes with
-    ``config.select``/``config.ignore``.
+    ``violations`` are the raw AST-rule findings (RS999 alone on a parse
+    failure); ``suppressions`` is the file's directive table, which the
+    caller settles *after* any whole-program findings for the same file
+    are merged in — that deferral is what lets a ``--graph`` run use one
+    suppression both for a per-file and an interprocedural finding
+    without RS000 flagging either half unused.
     """
+
+    path: str
+    violations: List[Violation]
+    suppressions: Suppressions
+    broken: bool = False
+
+
+def analyze_source(source: str, path: str, config: Optional[Config] = None,
+                   rule_ids: Optional[Sequence[str]] = None) -> FileAnalysis:
+    """Run the AST rules over one source string (no suppression settling)."""
     config = config or Config()
     active = _selected_ids(config)
     if rule_ids is not None:
@@ -259,19 +344,51 @@ def lint_source(source: str, path: str, config: Optional[Config] = None,
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [Violation(path, exc.lineno or 1, (exc.offset or 1) - 1,
-                          SYNTAX_ID, SYNTAX_NAME,
-                          f"file does not parse: {exc.msg}")]
+        broken = [Violation(path, exc.lineno or 1, (exc.offset or 1) - 1,
+                            SYNTAX_ID, SYNTAX_NAME,
+                            f"file does not parse: {exc.msg}")]
+        return FileAnalysis(path, broken, Suppressions(), broken=True)
     ctx = LintContext(path, source, tree, config)
     for rule in ast_rules():
         if rule.id in active:
             rule.check(ctx)
-    kept = [v for v in ctx.violations if not suppressions.suppresses(v)]
-    for comment_line, rule_id in suppressions.unused(active):
+    return FileAnalysis(path, ctx.violations, suppressions)
+
+
+def settle_file(analysis: FileAnalysis, active: Set[str],
+                extra: Sequence[Violation] = ()) -> List[Violation]:
+    """Apply suppressions to per-file + ``extra`` findings, report RS000.
+
+    ``extra`` carries graph-rule findings attributed to this file; they
+    consult the same line/file directives, so one suppression table
+    serves both passes and unused-suppression accounting sees the union.
+    """
+    if analysis.broken:
+        return sorted(analysis.violations)
+    merged = [*analysis.violations, *extra]
+    kept = [v for v in merged if not analysis.suppressions.suppresses(v)]
+    for comment_line, rule_id in analysis.suppressions.unused(active):
         kept.append(Violation(
-            path, comment_line, 0, UNUSED_ID, UNUSED_NAME,
+            analysis.path, comment_line, 0, UNUSED_ID, UNUSED_NAME,
             f"suppression for {rule_id} matches no violation; remove it"))
     return sorted(kept)
+
+
+def lint_source(source: str, path: str, config: Optional[Config] = None,
+                rule_ids: Optional[Sequence[str]] = None) -> List[Violation]:
+    """Lint one Python source string; returns sorted violations.
+
+    ``rule_ids`` restricts the run (mainly for tests); it composes with
+    ``config.select``/``config.ignore``.
+    """
+    config = config or Config()
+    # Graph rules (RS2xx) only run under --graph; a suppression held for
+    # them must not count as unused in a plain per-file pass.
+    active = _selected_ids(config) - set(_GRAPH_RULES)
+    if rule_ids is not None:
+        active &= set(rule_ids)
+    return settle_file(analyze_source(source, path, config, rule_ids),
+                       active)
 
 
 def _lint_one_file(path: Path, config: Config,

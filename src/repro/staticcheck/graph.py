@@ -1,0 +1,1300 @@
+"""Whole-program analysis: project index, call graph, incremental cache.
+
+The per-file rules (RS001–RS100) see one module at a time, so a helper
+three calls away from a worker entrypoint can reach ambient entropy, or
+smuggle an unpicklable object into a :class:`~repro.engine.sharding.ShardSpec`,
+without any lint firing.  This module closes that gap:
+
+* :class:`ModuleIndex` — one file's contribution to the program: import
+  map, symbol table, per-function call sites (with receiver-type
+  inference from annotations and local constructor bindings), ambient
+  nondeterminism uses, and the introspection *facts* other layers
+  declare for the analyzer (``@worker_entrypoint`` decorations,
+  ``BUILDER_REGISTRY`` literals, ``STATICCHECK_PICKLE_BOUNDARIES`` /
+  ``STATICCHECK_WORKER_SEEDS`` / ``STATICCHECK_UNPICKLABLE`` tuples).
+* :class:`ProjectIndex` — the linked whole: an approximate call graph
+  resolved through imports, methods, protocols and the builder/spec
+  registries, plus the worker-reachability closure the RS2xx rules run
+  over.
+* :class:`IndexCache` — an on-disk JSON cache keyed by per-file content
+  SHA-256: unchanged files are never re-parsed or re-indexed, a fully
+  unchanged project reuses the previous graph-rule report wholesale, and
+  closure-cacheable rules (RS202/RS204) re-run only on modules whose
+  forward import closure a change touched.
+* :func:`lint_paths_graph` — the ``--graph`` driver: per-file indexing
+  fans out on the engine's own :class:`~repro.engine.pool.WorkerPool`,
+  results merge in sorted path order, and the report is byte-identical
+  at any worker count and across cold/warm caches.
+
+Everything here is deterministic: traversals iterate sorted structures,
+the cache serializes with sorted keys, and no wall clock, hash salt or
+ambient RNG is ever consulted.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Dict, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
+
+from ..engine.pool import worker_entrypoint
+from .config import Config
+from .core import (FileAnalysis, Suppressions, Violation, _selected_ids,
+                   all_rule_ids, analyze_source, file_rules, graph_rules,
+                   iter_lintable_files, settle_file)
+from .rules.determinism import _CLOCK_SOURCES, _ImportMap, dotted_name
+from .rules.obsguard import _active_name_aliases, _obs_module_aliases
+
+#: Bump when the on-disk cache layout changes; stale caches reload cold.
+CACHE_VERSION = 1
+
+#: The decorator (by canonical dotted name) marking pool dispatch targets.
+_ENTRYPOINT_DECORATOR = "repro.engine.pool.worker_entrypoint"
+
+#: Module-level declarations the indexer collects as analyzer facts.
+_FACT_TUPLES = ("STATICCHECK_PICKLE_BOUNDARIES",
+                "STATICCHECK_WORKER_SEEDS",
+                "STATICCHECK_UNPICKLABLE")
+
+#: ``register_builder("name", "module:Class")`` call targets.
+_REGISTER_BUILDER = ("repro.engine.sharding.register_builder",
+                     "repro.engine.register_builder")
+
+
+# ---------------------------------------------------------------------------
+# Index data model.  Every field is JSON-representable (str/int/bool,
+# lists, string-keyed dicts) so the cache round-trips without pickle.
+
+
+@dataclass
+class ArgInfo:
+    """One argument at a call site, classified for taint/pickle rules."""
+
+    pos: Optional[int]
+    kw: Optional[str]
+    kind: str  # "const" | "name" | "lambda" | "genexp" | "other"
+    value: Optional[str]  # repr for const, identifier for name
+    params: List[str]  # enclosing-function parameters inside the expr
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"pos": self.pos, "kw": self.kw, "kind": self.kind,
+                "value": self.value, "params": self.params}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ArgInfo":
+        return cls(data["pos"], data["kw"], data["kind"], data["value"],
+                   list(data["params"]))
+
+
+@dataclass
+class CallSite:
+    """One call expression, with whatever the indexer could resolve locally."""
+
+    line: int
+    col: int
+    text: Optional[str]  # dotted source text ("spec.bind", "ShardSpec.create")
+    recv_type: Optional[str]  # inferred receiver type, dotted class name
+    recv_obs: bool  # receiver was bound from a repro.obs ACTIVE slot
+    args: List[ArgInfo]
+
+    @property
+    def method(self) -> Optional[str]:
+        """The attribute being called, for receiver-based resolution."""
+        if self.text and "." in self.text:
+            return self.text.rsplit(".", 1)[1]
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"line": self.line, "col": self.col, "text": self.text,
+                "recv_type": self.recv_type, "recv_obs": self.recv_obs,
+                "args": [a.to_dict() for a in self.args]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CallSite":
+        return cls(data["line"], data["col"], data["text"],
+                   data["recv_type"], data["recv_obs"],
+                   [ArgInfo.from_dict(a) for a in data["args"]])
+
+
+@dataclass
+class AmbientUse:
+    """One ambient nondeterminism source inside a function body."""
+
+    line: int
+    col: int
+    source: str  # canonical dotted name ("time.time", "random.random", ...)
+    category: str  # "random" | "clock" | "hash" | "set-order"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"line": self.line, "col": self.col, "source": self.source,
+                "category": self.category}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AmbientUse":
+        return cls(data["line"], data["col"], data["source"],
+                   data["category"])
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, as the graph rules see it."""
+
+    qualname: str  # "f", "C.m", or "<module>" for module-level code
+    line: int
+    col: int
+    params: List[str]
+    calls: List[CallSite] = field(default_factory=list)
+    ambient: List[AmbientUse] = field(default_factory=list)
+    #: Parameters whose value flows into a ``random.Random(...)`` seed.
+    rng_seed_params: List[str] = field(default_factory=list)
+    #: Local bindings the pickle rule consults: name -> classification
+    #: ("lambda" | "nested" | "call:<dotted>" | "obs_active").
+    local_binds: Dict[str, str] = field(default_factory=dict)
+    #: Line of a ``return`` handing out the raw obs ACTIVE slot, if any.
+    returns_obs_active: Optional[int] = None
+    is_entrypoint: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname, "line": self.line, "col": self.col,
+            "params": self.params,
+            "calls": [c.to_dict() for c in self.calls],
+            "ambient": [a.to_dict() for a in self.ambient],
+            "rng_seed_params": self.rng_seed_params,
+            "local_binds": self.local_binds,
+            "returns_obs_active": self.returns_obs_active,
+            "is_entrypoint": self.is_entrypoint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FunctionInfo":
+        return cls(data["qualname"], data["line"], data["col"],
+                   list(data["params"]),
+                   [CallSite.from_dict(c) for c in data["calls"]],
+                   [AmbientUse.from_dict(a) for a in data["ambient"]],
+                   list(data["rng_seed_params"]),
+                   dict(data["local_binds"]),
+                   data["returns_obs_active"], data["is_entrypoint"])
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: bases, methods, merge/protocol facts."""
+
+    name: str
+    line: int
+    bases: List[str]  # dotted, resolved through the import map where possible
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    is_protocol: bool = False
+    merge_methods: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "line": self.line, "bases": self.bases,
+                "methods": {name: m.to_dict()
+                            for name, m in sorted(self.methods.items())},
+                "is_protocol": self.is_protocol,
+                "merge_methods": self.merge_methods}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClassInfo":
+        return cls(data["name"], data["line"], list(data["bases"]),
+                   {name: FunctionInfo.from_dict(m)
+                    for name, m in data["methods"].items()},
+                   data["is_protocol"], list(data["merge_methods"]))
+
+
+@dataclass
+class ModuleIndex:
+    """Everything the graph layer keeps about one Python file."""
+
+    path: str  # posix path, as linted
+    sha: str  # content SHA-256 (the cache key)
+    module: str  # dotted module name ("repro.engine.pool")
+    #: local name -> "module" or "module:attr" (absolute, relative resolved)
+    imports: Dict[str, str] = field(default_factory=dict)
+    imported_modules: List[str] = field(default_factory=list)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: builder name -> "module:Class" (literal dict + register_builder calls)
+    builder_registry: Dict[str, str] = field(default_factory=dict)
+    #: declared analyzer facts, keyed by declaration name
+    facts: Dict[str, List[str]] = field(default_factory=dict)
+    #: module-level ``NAME = <obs module>.ACTIVE`` aliases: (name, line)
+    obs_slot_aliases: List[Tuple[str, int]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path, "sha": self.sha, "module": self.module,
+            "imports": dict(sorted(self.imports.items())),
+            "imported_modules": self.imported_modules,
+            "functions": {name: f.to_dict()
+                          for name, f in sorted(self.functions.items())},
+            "classes": {name: c.to_dict()
+                        for name, c in sorted(self.classes.items())},
+            "builder_registry": dict(sorted(self.builder_registry.items())),
+            "facts": {name: values
+                      for name, values in sorted(self.facts.items())},
+            "obs_slot_aliases": [list(pair)
+                                 for pair in self.obs_slot_aliases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModuleIndex":
+        return cls(
+            data["path"], data["sha"], data["module"],
+            dict(data["imports"]), list(data["imported_modules"]),
+            {name: FunctionInfo.from_dict(f)
+             for name, f in data["functions"].items()},
+            {name: ClassInfo.from_dict(c)
+             for name, c in data["classes"].items()},
+            dict(data["builder_registry"]),
+            {name: list(values) for name, values in data["facts"].items()},
+            [(str(name), int(line))
+             for name, line in data["obs_slot_aliases"]],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Module-name derivation and content hashing.
+
+
+def file_sha256(source: str) -> str:
+    """The cache key for one file's content."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, walking up while ``__init__.py`` exists.
+
+    Files outside any package index under their stem, so loose scripts
+    still participate in the graph (with no cross-file resolution).
+    """
+    resolved = path.resolve()
+    parts = [resolved.stem] if resolved.stem != "__init__" else []
+    parent = resolved.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(parts) if parts else resolved.stem
+
+
+# ---------------------------------------------------------------------------
+# The per-file indexer.
+
+
+_MERGE_METHODS = ("merge", "merge_from", "merge_into", "merge_segments")
+
+
+def _annotation_dotted(node: Optional[ast.expr]) -> Optional[str]:
+    """Dotted text of a simple annotation, unwrapping Optional/| None."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Subscript):
+        base = dotted_name(node.slice) if not isinstance(
+            node.slice, ast.Tuple) else None
+        outer = dotted_name(node.value)
+        if outer in ("Optional", "typing.Optional"):
+            return base
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_dotted(node.left)
+        right = _annotation_dotted(node.right)
+        if left == "None":
+            return right
+        if right == "None" or right is None:
+            return left
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        return text if text.replace(".", "").isidentifier() else None
+    return dotted_name(node)
+
+
+def _const_tuple(node: ast.expr) -> Optional[List[str]]:
+    """The string elements of a literal tuple/list, or ``None``."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out: List[str] = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            return None
+        out.append(element.value)
+    return out
+
+
+class _FileIndexer:
+    """Builds a :class:`ModuleIndex` from one parsed module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.tree = tree
+        self.import_map = _ImportMap(tree)
+        self.obs_modules = _obs_module_aliases(tree)
+        self.obs_names = _active_name_aliases(tree)
+        self.index = ModuleIndex(path=path, sha=file_sha256(source),
+                                 module=module_name_for(Path(path)))
+        self._collect_imports(tree)
+
+    # -- imports -------------------------------------------------------------
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        index = self.index
+        modules: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname \
+                        else alias.name.split(".")[0]
+                    index.imports[local] = target
+                    modules.add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(node)
+                if base is None:
+                    continue
+                modules.add(base)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    index.imports[local] = f"{base}:{alias.name}"
+        index.imported_modules = sorted(modules)
+
+    def _resolve_from(self, node: ast.ImportFrom) -> Optional[str]:
+        """Absolute module a ``from ... import`` pulls from (dots resolved)."""
+        if node.level == 0:
+            return node.module
+        parts = self.index.module.split(".")
+        # for a regular module a.b.c, level 1 is package a.b; __init__
+        # indexes as the package itself, so the same arithmetic holds.
+        if len(parts) < node.level:
+            return node.module
+        base = parts[:len(parts) - node.level]
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base) if base else None
+
+    def canonical(self, dotted: Optional[str]) -> Optional[str]:
+        """Absolute dotted path of a local dotted reference, if importable."""
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self.index.imports.get(head)
+        if target is None:
+            return None
+        target = target.replace(":", ".")
+        return f"{target}.{rest}" if rest else target
+
+    # -- the walk ------------------------------------------------------------
+
+    def build(self) -> ModuleIndex:
+        module_fn = FunctionInfo(qualname="<module>", line=1, col=0,
+                                 params=[])
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.index.functions[stmt.name] = \
+                    self._index_function(stmt, stmt.name, None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(stmt)
+            else:
+                self._index_module_stmt(stmt, module_fn)
+        self.index.functions["<module>"] = module_fn
+        return self.index
+
+    def _index_module_stmt(self, stmt: ast.stmt,
+                           module_fn: FunctionInfo) -> None:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                else [stmt.target]
+            value = stmt.value
+            if value is not None and len(targets) == 1 \
+                    and isinstance(targets[0], ast.Name):
+                self._module_assignment(targets[0].id, value)
+        self._scan_body([stmt], module_fn, params=set(),
+                        local_binds=module_fn.local_binds)
+
+    def _module_assignment(self, name: str, value: ast.expr) -> None:
+        """Collect registry literals, fact tuples, and ACTIVE aliases."""
+        index = self.index
+        if name == "BUILDER_REGISTRY" and isinstance(value, ast.Dict):
+            for key, val in zip(value.keys, value.values):
+                if (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and isinstance(val, ast.Constant)
+                        and isinstance(val.value, str)):
+                    index.builder_registry[key.value] = val.value
+            return
+        if name in _FACT_TUPLES:
+            values = _const_tuple(value)
+            if values is not None:
+                index.facts.setdefault(name, []).extend(values)
+            return
+        if self._is_obs_active(value):
+            index.obs_slot_aliases.append((name, value.lineno))
+
+    def _is_obs_active(self, node: ast.expr) -> bool:
+        """``<obs module>.ACTIVE`` / ``active()`` / an imported ACTIVE."""
+        if isinstance(node, ast.Attribute) and node.attr == "ACTIVE":
+            base = dotted_name(node.value)
+            return (isinstance(node.value, ast.Name)
+                    and node.value.id in self.obs_modules) or (
+                        base is not None
+                        and base.endswith(("obs.metrics", "obs.trace",
+                                           "obs.live")))
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "active":
+                return (isinstance(func.value, ast.Name)
+                        and func.value.id in self.obs_modules)
+            return isinstance(func, ast.Name) and func.id in self.obs_names
+        if isinstance(node, ast.Name):
+            return node.id in self.obs_names
+        return False
+
+    # -- classes -------------------------------------------------------------
+
+    def _index_class(self, node: ast.ClassDef) -> None:
+        bases: List[str] = []
+        is_protocol = False
+        for base in node.bases:
+            dotted = dotted_name(base)
+            if dotted is None:
+                continue
+            resolved = self.canonical(dotted) or dotted
+            bases.append(resolved)
+            if resolved.rsplit(".", 1)[-1] == "Protocol":
+                is_protocol = True
+        info = ClassInfo(name=node.name, line=node.lineno, bases=bases,
+                         is_protocol=is_protocol)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[stmt.name] = self._index_function(
+                    stmt, f"{node.name}.{stmt.name}", node.name)
+                if stmt.name in _MERGE_METHODS:
+                    info.merge_methods.append(stmt.name)
+        self.index.classes[node.name] = info
+
+    # -- functions -----------------------------------------------------------
+
+    def _index_function(self, node: "ast.FunctionDef | ast.AsyncFunctionDef",
+                        qualname: str,
+                        class_name: Optional[str]) -> FunctionInfo:
+        args = node.args
+        params = [a.arg for a in (*args.posonlyargs, *args.args,
+                                  *args.kwonlyargs)]
+        info = FunctionInfo(qualname=qualname, line=node.lineno,
+                            col=node.col_offset, params=params)
+        info.is_entrypoint = self._is_entrypoint(node)
+        # parameter annotations participate in receiver-type inference
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            dotted = _annotation_dotted(arg.annotation)
+            if dotted is not None:
+                resolved = self.canonical(dotted) or dotted
+                info.local_binds[arg.arg] = f"type:{resolved}"
+        self._scan_body(node.body, info, params=set(params),
+                        local_binds=info.local_binds)
+        return info
+
+    def _is_entrypoint(self,
+                       node: "ast.FunctionDef | ast.AsyncFunctionDef"
+                       ) -> bool:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            dotted = dotted_name(target)
+            if dotted is None:
+                continue
+            if (self.canonical(dotted) or dotted) == _ENTRYPOINT_DECORATOR:
+                return True
+            if dotted.rsplit(".", 1)[-1] == "worker_entrypoint":
+                return True
+        return False
+
+    def _scan_body(self, body: Sequence[ast.stmt], info: FunctionInfo,
+                   params: Set[str], local_binds: Dict[str, str]) -> None:
+        """One pass over a body: bindings, calls, ambient uses, returns."""
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                        and node is not stmt:
+                    local_binds.setdefault(node.name, "nested")
+                elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    self._classify_binding(node.targets[0].id, node.value,
+                                           local_binds)
+                elif isinstance(node, ast.Call):
+                    self._index_call(node, info, params, local_binds)
+                    self._index_ambient_call(node, info)
+                elif isinstance(node, (ast.For, ast.comprehension)):
+                    self._index_set_iteration(node, info)
+                elif isinstance(node, ast.Return) and node.value is not None:
+                    if self._returns_obs_slot(node.value, local_binds):
+                        info.returns_obs_active = node.lineno
+
+    def _classify_binding(self, name: str, value: ast.expr,
+                          local_binds: Dict[str, str]) -> None:
+        if self._is_obs_active(value):
+            local_binds[name] = "obs_active"
+            return
+        if isinstance(value, ast.Lambda):
+            local_binds[name] = "lambda"
+            return
+        if isinstance(value, ast.GeneratorExp):
+            local_binds[name] = "genexp"
+            return
+        if isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            if dotted is not None:
+                resolved = self.canonical(dotted) or dotted
+                local_binds[name] = f"call:{resolved}"
+
+    def _returns_obs_slot(self, value: ast.expr,
+                          local_binds: Dict[str, str]) -> bool:
+        if self._is_obs_active(value):
+            return True
+        return (isinstance(value, ast.Name)
+                and local_binds.get(value.id) == "obs_active")
+
+    def _index_call(self, node: ast.Call, info: FunctionInfo,
+                    params: Set[str], local_binds: Dict[str, str]) -> None:
+        text = dotted_name(node.func)
+        recv_type: Optional[str] = None
+        recv_obs = False
+        if isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if self._is_obs_active(base):
+                recv_obs = True
+            elif isinstance(base, ast.Name):
+                bind = local_binds.get(base.id)
+                if bind == "obs_active":
+                    recv_obs = True
+                elif bind is not None and bind.startswith(("call:", "type:")):
+                    recv_type = bind.split(":", 1)[1]
+            elif isinstance(base, ast.Call):
+                # chained constructor: Cls(...).method()
+                dotted = dotted_name(base.func)
+                if dotted is not None:
+                    recv_type = self.canonical(dotted) or dotted
+        args: List[ArgInfo] = []
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            args.append(self._arg_info(arg, position, None, params))
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            args.append(self._arg_info(keyword.value, None, keyword.arg,
+                                       params))
+        info.calls.append(CallSite(line=node.lineno, col=node.col_offset,
+                                   text=text, recv_type=recv_type,
+                                   recv_obs=recv_obs, args=args))
+
+    def _arg_info(self, expr: ast.expr, pos: Optional[int],
+                  kw: Optional[str], params: Set[str]) -> ArgInfo:
+        inner = sorted({n.id for n in ast.walk(expr)
+                        if isinstance(n, ast.Name) and n.id in params})
+        if isinstance(expr, ast.Constant):
+            return ArgInfo(pos, kw, "const", repr(expr.value), inner)
+        if isinstance(expr, ast.Lambda):
+            return ArgInfo(pos, kw, "lambda", None, inner)
+        if isinstance(expr, ast.GeneratorExp):
+            return ArgInfo(pos, kw, "genexp", None, inner)
+        if isinstance(expr, ast.Name):
+            return ArgInfo(pos, kw, "name", expr.id, inner)
+        return ArgInfo(pos, kw, "other", None, inner)
+
+    def _index_ambient_call(self, node: ast.Call,
+                            info: FunctionInfo) -> None:
+        canonical = self.import_map.canonical(node.func)
+        if canonical is not None:
+            if canonical.startswith("random.") \
+                    and canonical != "random.Random":
+                info.ambient.append(AmbientUse(node.lineno, node.col_offset,
+                                               canonical, "random"))
+            elif canonical in _CLOCK_SOURCES:
+                info.ambient.append(AmbientUse(node.lineno, node.col_offset,
+                                               canonical, "clock"))
+            elif canonical == "random.Random":
+                self._index_rng_seed(node, info)
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            info.ambient.append(AmbientUse(node.lineno, node.col_offset,
+                                           "hash", "hash"))
+
+    def _index_rng_seed(self, node: ast.Call, info: FunctionInfo) -> None:
+        """Parameters whose value reaches this ``random.Random`` seed."""
+        seed_exprs: List[ast.expr] = list(node.args)
+        seed_exprs.extend(k.value for k in node.keywords)
+        for expr in seed_exprs:
+            for name in ast.walk(expr):
+                if isinstance(name, ast.Name) and name.id in info.params \
+                        and name.id not in info.rng_seed_params:
+                    info.rng_seed_params.append(name.id)
+
+    def _index_set_iteration(self, node: "ast.For | ast.comprehension",
+                             info: FunctionInfo) -> None:
+        iterable = node.iter
+        is_set = isinstance(iterable, (ast.Set, ast.SetComp)) or (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("set", "frozenset"))
+        if is_set:
+            anchor = iterable if isinstance(node, ast.comprehension) else node
+            info.ambient.append(AmbientUse(anchor.lineno, anchor.col_offset,
+                                           "set-iteration", "set-order"))
+
+
+def index_source(source: str, path: str) -> ModuleIndex:
+    """Index one Python source string (raises ``SyntaxError`` if broken)."""
+    tree = ast.parse(source, filename=path)
+    return _FileIndexer(path, source, tree).build()
+
+
+# ---------------------------------------------------------------------------
+# The linked project.
+
+
+@dataclass
+class Resolution:
+    """One resolved call edge: target function key plus binding shape."""
+
+    target: str  # "module:qualname"
+    bound: bool  # receiver-bound call (self param consumed by binding)
+
+
+class ProjectIndex:
+    """All module indexes, linked into symbol tables and a call graph."""
+
+    def __init__(self, modules: Sequence[ModuleIndex],
+                 runtime_facts: Optional[Dict[str, List[str]]] = None
+                 ) -> None:
+        #: posix path -> index, iteration order sorted for determinism
+        self.modules: Dict[str, ModuleIndex] = {
+            m.path: m for m in sorted(modules, key=lambda m: m.path)}
+        self.by_name: Dict[str, ModuleIndex] = {}
+        for module in self.modules.values():
+            self.by_name.setdefault(module.module, module)
+        #: "module:Class" -> (owning index, class info)
+        self.classes: Dict[str, Tuple[ModuleIndex, ClassInfo]] = {}
+        #: "module:qualname" -> (owning index, function info)
+        self.functions: Dict[str, Tuple[ModuleIndex, FunctionInfo]] = {}
+        for module in self.modules.values():
+            for name, cls in module.classes.items():
+                self.classes[f"{module.module}:{name}"] = (module, cls)
+                for mname, method in cls.methods.items():
+                    self.functions[f"{module.module}:{name}.{mname}"] = \
+                        (module, method)
+            for name, fn in module.functions.items():
+                self.functions[f"{module.module}:{name}"] = (module, fn)
+        self.facts: Dict[str, List[str]] = {}
+        for module in self.modules.values():
+            for fact, values in sorted(module.facts.items()):
+                self.facts.setdefault(fact, []).extend(values)
+        for fact, values in sorted((runtime_facts or {}).items()):
+            self.facts.setdefault(fact, []).extend(values)
+        self.builder_registry: Dict[str, str] = {}
+        for module in self.modules.values():
+            self.builder_registry.update(module.builder_registry)
+        self._method_index: Dict[str, List[str]] = {}
+        for key, (_, cls) in sorted(self.classes.items()):
+            if cls.is_protocol:
+                continue
+            for mname in sorted(cls.methods):
+                self._method_index.setdefault(mname, []).append(
+                    f"{key}.{mname}")
+        self._edges: Optional[Dict[str, List[Tuple[Resolution,
+                                                   CallSite]]]] = None
+        self._constructed: Optional[Dict[str, List[Tuple[str,
+                                                         CallSite]]]] = None
+
+    # -- symbol resolution ---------------------------------------------------
+
+    def resolve_absolute(self, dotted: str) -> Optional[str]:
+        """``a.b.c.f`` -> a project symbol key, by longest module prefix."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            index = self.by_name.get(module)
+            if index is None:
+                continue
+            rest = parts[cut:]
+            head = rest[0]
+            if head in index.classes:
+                if len(rest) == 1:
+                    return f"{module}:{head}"
+                if len(rest) == 2 and rest[1] in index.classes[head].methods:
+                    return f"{module}:{head}.{rest[1]}"
+                return None
+            if len(rest) == 1 and head in index.functions:
+                return f"{module}:{head}"
+            return None
+        return None
+
+    def _canonicalize(self, module: ModuleIndex,
+                      dotted: str) -> Optional[str]:
+        head, _, rest = dotted.partition(".")
+        target = module.imports.get(head)
+        if target is None:
+            if head in module.classes or head in module.functions:
+                absolute = f"{module.module}.{dotted}"
+                return self.resolve_absolute(absolute)
+            return None
+        return self.resolve_absolute(
+            target.replace(":", ".") + (f".{rest}" if rest else ""))
+
+    def canonical_text(self, module: ModuleIndex,
+                       dotted: Optional[str]) -> Optional[str]:
+        """Fully-dotted form of a reference, via the import map alone.
+
+        Unlike :meth:`_canonicalize` this never requires the target
+        module to be indexed, so boundary declarations can point at
+        modules outside the linted tree (fixture projects matching the
+        engine's real boundaries, for example).  The result uses dots
+        throughout — compare against ``"mod:Qual"`` keys by normalizing
+        the colon away.
+        """
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = module.imports.get(head)
+        if target is None:
+            if head in module.classes or head in module.functions:
+                return f"{module.module}.{dotted}"
+            return None
+        base = target.replace(":", ".")
+        return f"{base}.{rest}" if rest else base
+
+    def lookup_method(self, class_key: str,
+                      method: str) -> Optional[str]:
+        """Resolve ``method`` on a class, walking project-local bases."""
+        seen: Set[str] = set()
+        stack = [class_key]
+        while stack:
+            key = stack.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            entry = self.classes.get(key)
+            if entry is None:
+                continue
+            index, cls = entry
+            if method in cls.methods:
+                return f"{key}.{method}"
+            for base in cls.bases:
+                resolved = self._canonicalize(index, base) \
+                    or self.resolve_absolute(base)
+                if resolved is not None:
+                    stack.append(resolved)
+        return None
+
+    def resolve_call(self, module: ModuleIndex, fn: FunctionInfo,
+                     site: CallSite) -> Tuple[List[Resolution], List[str]]:
+        """(call edges, classes constructed) for one call site."""
+        edges: List[Resolution] = []
+        constructed: List[str] = []
+        method = site.method
+        if site.text is not None:
+            head = site.text.split(".", 1)[0]
+            if head in ("self", "cls") and "." in fn.qualname:
+                class_key = f"{module.module}:{fn.qualname.split('.')[0]}"
+                if method is not None:
+                    target = self.lookup_method(class_key, method)
+                    if target is not None:
+                        edges.append(Resolution(target, bound=True))
+                return edges, constructed
+            resolved = self._canonicalize(module, site.text)
+            if resolved is not None:
+                if resolved in self.classes:
+                    constructed.append(resolved)
+                    init = self.lookup_method(resolved, "__init__")
+                    if init is not None:
+                        edges.append(Resolution(init, bound=True))
+                elif resolved in self.functions:
+                    # "Class.method" resolves here too; treat a dotted
+                    # text with a resolved class prefix as bound.
+                    edges.append(Resolution(
+                        resolved, bound="." in resolved.split(":", 1)[1]))
+                return edges, constructed
+        if method is not None and site.recv_type is not None:
+            class_key = self.resolve_absolute(site.recv_type) \
+                or self._canonicalize(module, site.recv_type)
+            if class_key is not None and class_key in self.classes:
+                _, cls = self.classes[class_key]
+                if cls.is_protocol:
+                    for target in self._method_index.get(method, []):
+                        edges.append(Resolution(target, bound=True))
+                else:
+                    target = self.lookup_method(class_key, method)
+                    if target is not None:
+                        edges.append(Resolution(target, bound=True))
+        return edges, constructed
+
+    # -- the call graph ------------------------------------------------------
+
+    def _link(self) -> None:
+        if self._edges is not None:
+            return
+        self._edges = {}
+        self._constructed = {}
+        for key in sorted(self.functions):
+            module, fn = self.functions[key]
+            edge_list: List[Tuple[Resolution, CallSite]] = []
+            built: List[Tuple[str, CallSite]] = []
+            for site in fn.calls:
+                edges, constructed = self.resolve_call(module, fn, site)
+                edge_list.extend((edge, site) for edge in edges)
+                built.extend((cls, site) for cls in constructed)
+            self._edges[key] = edge_list
+            self._constructed[key] = built
+
+    def edges(self) -> Dict[str, List[Tuple[Resolution, CallSite]]]:
+        self._link()
+        assert self._edges is not None
+        return self._edges
+
+    def constructed(self) -> Dict[str, List[Tuple[str, CallSite]]]:
+        self._link()
+        assert self._constructed is not None
+        return self._constructed
+
+    def module_of(self, fn_key: str) -> ModuleIndex:
+        return self.functions[fn_key][0]
+
+    def is_obs_path(self, path: str) -> bool:
+        return "/obs/" in path or path.endswith("/obs.py")
+
+    # -- worker entrypoints and reachability ---------------------------------
+
+    def worker_seeds(self) -> List[str]:
+        """Function keys the worker-reachability closure starts from.
+
+        Read from the introspection hooks, never hard-coded names:
+        ``@worker_entrypoint`` decorations, every method of every class
+        the builder/spec registry points at, and the explicit
+        ``STATICCHECK_WORKER_SEEDS`` declarations (``module:Qual.name``).
+        """
+        seeds: Set[str] = set()
+        for key in sorted(self.functions):
+            _, fn = self.functions[key]
+            if fn.is_entrypoint:
+                seeds.add(key)
+        builder_paths = set(self.builder_registry.values())
+        builder_paths.update(self.facts.get("BUILDER_REGISTRY", []))
+        for class_key in sorted(builder_paths):
+            entry = self.classes.get(class_key)
+            if entry is None:
+                continue
+            _, cls = entry
+            for mname in sorted(cls.methods):
+                seeds.add(f"{class_key}.{mname}")
+        for declared in sorted(self.facts.get(
+                "STATICCHECK_WORKER_SEEDS", [])):
+            if declared in self.functions:
+                seeds.add(declared)
+        return sorted(seeds)
+
+    def worker_reachable(self) -> Tuple[Set[str], Dict[str, str]]:
+        """(reachable function keys, first-reach predecessor map).
+
+        Deterministic BFS in sorted order from :meth:`worker_seeds`.
+        Traversal never enters ``repro.obs`` modules: the live plane is
+        out-of-band by contract and audited by its own rules.
+        """
+        edges = self.edges()
+        parents: Dict[str, str] = {}
+        reachable: Set[str] = set()
+        queue = list(self.worker_seeds())
+        reachable.update(queue)
+        while queue:
+            current = queue.pop(0)
+            neighbors: Set[str] = set()
+            for resolution, _ in edges.get(current, []):
+                neighbors.add(resolution.target)
+            for target in sorted(neighbors):
+                if target in reachable:
+                    continue
+                if self.is_obs_path(self.module_of(target).path):
+                    continue
+                reachable.add(target)
+                parents[target] = current
+                queue.append(target)
+        return reachable, parents
+
+    def chain_to(self, fn_key: str, parents: Dict[str, str],
+                 limit: int = 6) -> str:
+        """Render the entrypoint -> ... -> fn chain for a message."""
+        chain = [fn_key]
+        while chain[-1] in parents and len(chain) < limit:
+            chain.append(parents[chain[-1]])
+        return " <- ".join(part.split(":", 1)[1] for part in chain)
+
+    # -- import closure (for the incremental cache and --changed) ------------
+
+    def import_closure(self, path: str) -> List[str]:
+        """Paths of the module plus everything it transitively imports."""
+        start = self.modules.get(path)
+        if start is None:
+            return [path]
+        seen: Set[str] = {start.module}
+        queue = [start.module]
+        while queue:
+            index = self.by_name.get(queue.pop(0))
+            if index is None:
+                continue
+            for imported in index.imported_modules:
+                if imported in self.by_name and imported not in seen:
+                    seen.add(imported)
+                    queue.append(imported)
+        return sorted(self.by_name[name].path for name in sorted(seen)
+                      if name in self.by_name)
+
+    def reverse_import_closure(self, paths: Set[str]) -> Set[str]:
+        """``paths`` plus every module whose import closure touches them."""
+        out = set(paths)
+        for path in self.modules:
+            if path in out:
+                continue
+            if any(dep in paths for dep in self.import_closure(path)):
+                out.add(path)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Runtime introspection of the engine's declared hooks.
+
+
+def runtime_engine_facts() -> Dict[str, List[str]]:
+    """Facts imported from the engine's own declarations.
+
+    The analyzer reads :data:`repro.engine.pool.PICKLE_BOUNDARIES` and
+    the builder registry instead of hard-coding the names; projects
+    under analysis that cannot import the engine (pure fixtures) simply
+    contribute their own ``STATICCHECK_*`` declarations.
+    """
+    facts: Dict[str, List[str]] = {}
+    try:
+        from ..engine import pool as engine_pool
+        from ..engine import sharding as engine_sharding
+    except Exception:  # pragma: no cover - engine always importable here
+        return facts
+    facts["STATICCHECK_PICKLE_BOUNDARIES"] = \
+        list(engine_pool.PICKLE_BOUNDARIES)
+    facts["STATICCHECK_WORKER_SEEDS"] = \
+        list(engine_pool.WORKER_SEEDS) + list(engine_pool.WORKER_ENTRYPOINTS)
+    facts["BUILDER_REGISTRY"] = sorted(
+        path for _, path in engine_sharding.registered_builders())
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# The incremental cache.
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting the acceptance tests assert on (not timing)."""
+
+    files: int = 0
+    hits: int = 0
+    misses: int = 0
+    graph_reused: bool = False
+    closure_hits: int = 0
+    closure_misses: int = 0
+
+    def summary(self) -> str:
+        return (f"cache: {self.hits} hits, {self.misses} misses "
+                f"over {self.files} files; graph "
+                f"{'reused' if self.graph_reused else 'recomputed'} "
+                f"({self.closure_hits} closure hits, "
+                f"{self.closure_misses} misses)")
+
+
+def _config_digest(config: Config,
+                   rule_ids: Optional[Sequence[str]]) -> str:
+    payload = json.dumps({
+        "version": CACHE_VERSION,
+        "select": sorted(config.select),
+        "ignore": sorted(config.ignore),
+        "exclude": sorted(config.exclude),
+        "determinism_allow": sorted(config.determinism_allow),
+        "test_paths": sorted(config.test_paths),
+        "rule_ids": sorted(rule_ids) if rule_ids is not None else None,
+        "rules": all_rule_ids(),
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class IndexCache:
+    """On-disk JSON cache of per-file indexes and graph-rule results."""
+
+    def __init__(self, path: Optional[Path], digest: str) -> None:
+        self.path = path
+        self.digest = digest
+        self.files: Dict[str, Dict[str, Any]] = {}
+        self.graph: Dict[str, Any] = {}
+        self.closures: Dict[str, Dict[str, Any]] = {}
+        if path is not None and path.is_file():
+            self._load(path)
+
+    def _load(self, path: Path) -> None:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) \
+                or data.get("cache_version") != CACHE_VERSION \
+                or data.get("config_digest") != self.digest:
+            return  # cold: layout or configuration changed
+        self.files = dict(data.get("files", {}))
+        self.graph = dict(data.get("graph", {}))
+        self.closures = dict(data.get("closures", {}))
+
+    def lookup(self, path: str, sha: str) -> Optional[Dict[str, Any]]:
+        entry = self.files.get(path)
+        if entry is not None and entry.get("sha") == sha:
+            return entry
+        return None
+
+    def store(self, path: str, entry: Dict[str, Any]) -> None:
+        self.files[path] = entry
+
+    def save(self, live_paths: Set[str]) -> None:
+        """Persist (atomically), dropping entries for vanished files."""
+        if self.path is None:
+            return
+        document = {
+            "cache_version": CACHE_VERSION,
+            "config_digest": self.digest,
+            "files": {path: self.files[path]
+                      for path in sorted(self.files)
+                      if path in live_paths},
+            "graph": self.graph,
+            "closures": {path: self.closures[path]
+                         for path in sorted(self.closures)
+                         if path in live_paths},
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(document, sort_keys=True,
+                                  separators=(",", ":")) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, self.path)
+
+
+# ---------------------------------------------------------------------------
+# Parallel per-file indexing (dogfooding the engine's WorkerPool).
+
+
+def _analyze_one(path_str: str, config: Config,
+                 rule_ids: Optional[Tuple[str, ...]]) -> Dict[str, Any]:
+    """Index + per-file lint one Python file; JSON-ready payload."""
+    path = Path(path_str)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        violation = Violation(path_str, 1, 0, "RS999", "syntax-error",
+                              f"cannot read file: {exc}")
+        return {"path": path_str, "sha": "", "broken": True,
+                "index": None, "suppressions": Suppressions().to_dict(),
+                "violations": [violation.to_dict()]}
+    analysis = analyze_source(source, path_str, config, rule_ids)
+    payload: Dict[str, Any] = {
+        "path": path_str,
+        "sha": file_sha256(source),
+        "broken": analysis.broken,
+        "suppressions": analysis.suppressions.to_dict(),
+        "violations": [v.to_dict() for v in analysis.violations],
+        "index": None,
+    }
+    if not analysis.broken:
+        payload["index"] = index_source(source, path_str).to_dict()
+    return payload
+
+
+@worker_entrypoint
+def _analyze_chunk(paths: Tuple[str, ...], config: Config,
+                   rule_ids: Optional[Tuple[str, ...]]
+                   ) -> List[Dict[str, Any]]:
+    """Pool worker entrypoint: analyze a chunk of files."""
+    return [_analyze_one(path, config, rule_ids) for path in paths]
+
+
+def _analyze_parallel(paths: Sequence[str], config: Config,
+                      rule_ids: Optional[Tuple[str, ...]],
+                      workers: int) -> List[Dict[str, Any]]:
+    """Fan per-file analysis out over a WorkerPool; order-stable merge."""
+    if workers <= 1 or len(paths) <= 1:
+        return [_analyze_one(path, config, rule_ids) for path in paths]
+    from ..engine.pool import WorkerPool
+    chunk = max(1, (len(paths) + workers * 4 - 1) // (workers * 4))
+    chunks = [tuple(paths[lo:lo + chunk])
+              for lo in range(0, len(paths), chunk)]
+    with WorkerPool(workers) as pool:
+        results = pool.run_batch(
+            _analyze_chunk, [(part, config, rule_ids) for part in chunks],
+            task="staticcheck-index")
+    out: List[Dict[str, Any]] = []
+    for part in results:
+        out.extend(part)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The --graph driver.
+
+
+@dataclass
+class GraphRunResult:
+    """Everything a ``--graph`` run produced."""
+
+    violations: List[Violation]
+    files_checked: int
+    stats: CacheStats
+    project: Optional[ProjectIndex] = None
+
+
+def _closure_digest(project: ProjectIndex, path: str) -> str:
+    pairs = [[dep, project.modules[dep].sha]
+             for dep in project.import_closure(path)
+             if dep in project.modules]
+    return hashlib.sha256(
+        json.dumps(pairs, sort_keys=True).encode("utf-8")).hexdigest()
+
+
+def _graph_violations(project: ProjectIndex, config: Config,
+                      active: Set[str], cache: IndexCache,
+                      stats: CacheStats) -> List[Violation]:
+    """Run the graph rules, reusing cached results where sound."""
+    project_digest = hashlib.sha256(json.dumps(
+        [[path, index.sha] for path, index
+         in sorted(project.modules.items())],
+        sort_keys=True).encode("utf-8")).hexdigest()
+    selected = [rule for rule in graph_rules() if rule.id in active]
+    if cache.graph.get("project_digest") == project_digest:
+        stats.graph_reused = True
+        stats.closure_hits += len(project.modules)
+        return [Violation.from_dict(v)
+                for v in cache.graph.get("violations", [])]
+    violations: List[Violation] = []
+    whole = [rule for rule in selected if not rule.closure_cacheable]
+    per_module = [rule for rule in selected if rule.closure_cacheable]
+    for rule in whole:
+        violations.extend(rule.check_project(project, config))
+    fresh_closures: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(project.modules):
+        digest = _closure_digest(project, path)
+        cached = cache.closures.get(path)
+        if cached is not None and cached.get("digest") == digest:
+            stats.closure_hits += 1
+            module_violations = [Violation.from_dict(v)
+                                 for v in cached.get("violations", [])]
+        else:
+            stats.closure_misses += 1
+            module_violations = []
+            for rule in per_module:
+                module_violations.extend(
+                    rule.check_module(project, project.modules[path],
+                                      config))
+            module_violations.sort()
+        fresh_closures[path] = {
+            "digest": digest,
+            "violations": [v.to_dict() for v in module_violations]}
+        violations.extend(module_violations)
+    cache.closures = fresh_closures
+    violations.sort()
+    cache.graph = {"project_digest": project_digest,
+                   "violations": [v.to_dict() for v in violations]}
+    return violations
+
+
+def lint_paths_graph(paths: Sequence["str | Path"],
+                     config: Optional[Config] = None,
+                     rule_ids: Optional[Sequence[str]] = None,
+                     workers: int = 1,
+                     cache_path: Optional["str | Path"] = None,
+                     report_paths: Optional[Set[str]] = None,
+                     widen_to_importers: bool = False) -> GraphRunResult:
+    """Whole-program lint: per-file rules plus the RS2xx graph family.
+
+    ``report_paths`` (posix strings) restricts which files *report*
+    violations — ``--changed`` widens a git diff to its import closure
+    and passes it here — while indexing still covers every path so the
+    graph stays whole-program.  The rendered report is byte-identical
+    for any ``workers`` value and across cold/warm caches.
+    """
+    config = config or Config()
+    active = _selected_ids(config)
+    if rule_ids is not None:
+        active &= set(rule_ids)
+    rule_tuple = tuple(sorted(rule_ids)) if rule_ids is not None else None
+    files = iter_lintable_files(paths, config)
+    py_files = [f for f in files if f.suffix == ".py"]
+    other_files = [f for f in files if f.suffix != ".py"]
+    stats = CacheStats(files=len(py_files))
+    cache = IndexCache(Path(cache_path) if cache_path else None,
+                       _config_digest(config, rule_ids))
+
+    # -- per-file pass (cached, parallel) ------------------------------------
+    entries: Dict[str, Dict[str, Any]] = {}
+    misses: List[str] = []
+    for path in py_files:
+        path_str = str(path)
+        try:
+            sha = file_sha256(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError):
+            sha = ""
+        hit = cache.lookup(path_str, sha) if sha else None
+        if hit is not None:
+            stats.hits += 1
+            entries[path_str] = hit
+        else:
+            misses.append(path_str)
+    stats.misses = len(misses)
+    for payload in _analyze_parallel(misses, config, rule_tuple, workers):
+        entries[payload["path"]] = payload
+        cache.store(payload["path"], payload)
+
+    # -- link and run the graph rules ----------------------------------------
+    indexes = [ModuleIndex.from_dict(entry["index"])
+               for _, entry in sorted(entries.items())
+               if entry["index"] is not None]
+    project = ProjectIndex(indexes, runtime_facts=runtime_engine_facts())
+    if report_paths is not None and widen_to_importers:
+        # --changed under --graph: a change can introduce violations in
+        # every module that (transitively) imports it, so report on the
+        # whole reverse import closure, not just the diff.
+        report_paths = project.reverse_import_closure(report_paths)
+    graph_violations = _graph_violations(project, config, active, cache,
+                                         stats)
+    by_path: Dict[str, List[Violation]] = {}
+    for violation in graph_violations:
+        by_path.setdefault(violation.path, []).append(violation)
+
+    # -- settle suppressions per file ----------------------------------------
+    violations: List[Violation] = []
+    reported = 0
+    for path_str, entry in sorted(entries.items()):
+        if report_paths is not None and path_str not in report_paths:
+            continue
+        reported += 1
+        analysis = FileAnalysis(
+            path_str,
+            [Violation.from_dict(v) for v in entry["violations"]],
+            Suppressions.from_dict(entry["suppressions"]),
+            broken=bool(entry["broken"]))
+        violations.extend(settle_file(analysis, active,
+                                      extra=by_path.get(path_str, [])))
+    for path in other_files:
+        if report_paths is not None and str(path) not in report_paths:
+            continue
+        reported += 1
+        for rule in file_rules():
+            if rule.id in active and rule.applies(path):
+                violations.extend(rule.check_file(path, config))
+    cache.save(live_paths={str(p) for p in py_files})
+    return GraphRunResult(sorted(violations), reported, stats, project)

@@ -12,13 +12,21 @@ RS003     obs-guard             obs calls guarded on the ACTIVE slot
 RS004     ecs-conformance       ECS literals within RFC 7871 bounds
 RS005     seeded-rng            every ``random.Random`` is plumbed a seed
 RS100     prom-exposition       ``.prom`` files parse as strict Prometheus
+RS201     worker-determinism    worker-reachable code free of ambient entropy
+RS202     pickle-safety         nothing unpicklable crosses a spec boundary
+RS203     merge-reachability    worker-built mergeables merged somewhere
+RS204     obs-escape            the obs ACTIVE slot never returned or aliased
 ========  ====================  ==============================================
 
-(RS000 unused-suppression and RS999 syntax-error live in the core.)
+(RS000 unused-suppression and RS999 syntax-error live in the core.  The
+RS2xx family is interprocedural: those rules run only under ``--graph``,
+over the project index built by :mod:`repro.staticcheck.graph`.)
 """
 
 from __future__ import annotations
 
-from . import determinism, ecs, merge, obsguard, prom  # noqa: F401
+from . import (determinism, ecs, merge, obsguard,  # noqa: F401
+               pickle_safety, prom, reachability)
 
-__all__ = ["determinism", "ecs", "merge", "obsguard", "prom"]
+__all__ = ["determinism", "ecs", "merge", "obsguard", "pickle_safety",
+           "prom", "reachability"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..config import Config
 from ..core import FileRule, Violation, register
@@ -32,24 +32,37 @@ def check_prom_text(text: str) -> Tuple[int, int]:
     return len(families), samples
 
 
-def lint_prom_file(path: Path) -> List[Violation]:
-    """Violations (rule RS100) for one Prometheus text-format file."""
+def lint_prom_summary(path: Path
+                      ) -> Tuple[List[Violation],
+                                 Optional[Tuple[int, int]]]:
+    """One parse of ``path``: (violations, (families, samples) if valid).
+
+    The single home of the grammar check — both the registered rule and
+    the ``tools/lint_prometheus.py`` shim call this, so a file is parsed
+    exactly once per lint no matter which front end asked.
+    """
     try:
         text = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as exc:
         return [Violation(str(path), 1, 0, PromExpositionRule.id,
                           PromExpositionRule.name,
-                          f"cannot read exposition file: {exc}")]
+                          f"cannot read exposition file: {exc}")], None
     try:
-        check_prom_text(text)
+        counts = check_prom_text(text)
     except ValueError as exc:
         message = str(exc)
         match = _LINE_RE.search(message)
         line = int(match.group(1)) if match else 1
         return [Violation(str(path), line, 0, PromExpositionRule.id,
                           PromExpositionRule.name,
-                          f"invalid Prometheus exposition: {message}")]
-    return []
+                          f"invalid Prometheus exposition: {message}")], None
+    return [], counts
+
+
+def lint_prom_file(path: Path) -> List[Violation]:
+    """Violations (rule RS100) for one Prometheus text-format file."""
+    violations, _ = lint_prom_summary(path)
+    return violations
 
 
 class PromExpositionRule(FileRule):

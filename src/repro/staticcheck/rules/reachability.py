@@ -1,0 +1,307 @@
+"""RS201/RS203/RS204: worker-reachability rules over the project graph.
+
+These rules run only under ``--graph``.  They consume the
+:class:`~repro.staticcheck.graph.ProjectIndex` built by the graph
+driver: a call graph resolved through imports, methods, protocols, and
+the engine's declared registries (``BUILDER_REGISTRY`` builders,
+``@worker_entrypoint`` functions, ``STATICCHECK_WORKER_SEEDS``).
+
+* **RS201 worker-reachability determinism** — the transitive upgrade of
+  RS001/RS005.  Everything reachable from a worker entrypoint must stay
+  deterministic: an ambient clock read three frames deep breaks replay
+  byte-equivalence even when its own file carries a determinism-allow
+  waiver, and a constant seed threaded through call arguments into
+  ``random.Random`` collapses every shard onto one stream.
+* **RS203 cross-module merge-algebra** — RS002 made whole-program: a
+  mergeable class constructed in worker context whose merge method no
+  caller anywhere ever invokes is a partial that silently drops data at
+  the join point.
+* **RS204 obs-guard escape** — helpers that *return* or *alias* the obs
+  ``ACTIVE`` slot hand callers an unguarded reference, bypassing the
+  local ``if slot is not None`` discipline RS003 enforces per file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, TYPE_CHECKING
+
+from ..config import Config
+from ..core import GraphRule, Violation, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph import ModuleIndex, ProjectIndex
+
+#: Ambient categories RS201 reports per reachable-function context.
+#: "clock" escapes per-file RS001 via determinism-allow fragments;
+#: the others escape it only inside test paths.
+_TEST_ONLY_CATEGORIES = ("random", "hash", "set-order")
+
+_CATEGORY_WHY = {
+    "random": "the process-global random stream ignores shard seeds",
+    "clock": "wall-clock reads differ across workers and replays",
+    "hash": "hash() is salted per process (PYTHONHASHSEED)",
+    "set-order": "set iteration order is not deterministic",
+}
+
+
+def _seed_sink_params(project: "ProjectIndex") -> Dict[str, Set[str]]:
+    """Fixpoint: parameters that flow (transitively) into an RNG seed.
+
+    A parameter ``p`` of ``f`` is a *seed sink* if ``f`` passes it into
+    ``random.Random(...)`` directly, or forwards it into a seed-sink
+    parameter of a callee.  Iterates to a fixpoint over the call graph
+    in sorted order, so the result is deterministic.
+    """
+    sinks: Dict[str, Set[str]] = {}
+    for key in sorted(project.functions):
+        _, fn = project.functions[key]
+        if fn.rng_seed_params:
+            sinks[key] = set(fn.rng_seed_params)
+    edges = project.edges()
+    changed = True
+    while changed:
+        changed = False
+        for caller in sorted(project.functions):
+            _, fn = project.functions[caller]
+            for resolution, site in edges.get(caller, []):
+                callee_sinks = sinks.get(resolution.target)
+                if not callee_sinks:
+                    continue
+                _, callee = project.functions[resolution.target]
+                for arg in site.args:
+                    target_param = _map_param(callee.params, arg.pos,
+                                              arg.kw, resolution.bound)
+                    if target_param not in callee_sinks:
+                        continue
+                    for name in arg.params:
+                        if name not in sinks.setdefault(caller, set()):
+                            sinks[caller].add(name)
+                            changed = True
+    return sinks
+
+
+def _map_param(params: List[str], pos: "int | None", kw: "str | None",
+               bound: bool) -> "str | None":
+    """The callee parameter an argument lands in (approximate)."""
+    if kw is not None:
+        return kw if kw in params else None
+    if pos is None:
+        return None
+    offset = 1 if bound and params and params[0] in ("self", "cls") else 0
+    index = pos + offset
+    return params[index] if index < len(params) else None
+
+
+class WorkerDeterminismRule(GraphRule):
+    """RS201: worker-reachable code must be free of ambient entropy."""
+
+    id = "RS201"
+    name = "worker-determinism"
+    closure_cacheable = False  # depends on reverse reachability
+
+    def check_project(self, project: "ProjectIndex",
+                      config: Config) -> List[Violation]:
+        violations: List[Violation] = []
+        reachable, parents = project.worker_reachable()
+        for key in sorted(reachable):
+            module, fn = project.functions[key]
+            if project.is_obs_path(module.path):
+                continue  # the live plane is out-of-band by contract
+            allow_clock = config.allows_clock(module.path)
+            is_test = config.is_test_path(module.path)
+            for use in fn.ambient:
+                # Only report what per-file RS001 could not see: sources
+                # its waivers silenced in *this* file but which are now
+                # known to run inside a worker.
+                if use.category == "clock" and not (allow_clock or is_test):
+                    continue
+                if use.category in _TEST_ONLY_CATEGORIES and not is_test:
+                    continue
+                chain = project.chain_to(key, parents)
+                violations.append(Violation(
+                    module.path, use.line, use.col, self.id, self.name,
+                    f"{use.source} is reachable from a worker entrypoint "
+                    f"(via {chain}); {_CATEGORY_WHY[use.category]} — "
+                    f"derive per-shard values from the bound seed instead",
+                ))
+        violations.extend(self._constant_seeds(project, config, reachable))
+        return sorted(violations)
+
+    def _constant_seeds(self, project: "ProjectIndex", config: Config,
+                        reachable: Set[str]) -> List[Violation]:
+        """Constant seeds threaded through calls into ``random.Random``."""
+        sinks = _seed_sink_params(project)
+        edges = project.edges()
+        violations: List[Violation] = []
+        for caller in sorted(reachable):
+            module, _ = project.functions[caller]
+            if config.is_test_path(module.path) \
+                    or project.is_obs_path(module.path):
+                continue
+            for resolution, site in edges.get(caller, []):
+                callee_sinks = sinks.get(resolution.target)
+                if not callee_sinks:
+                    continue
+                _, callee = project.functions[resolution.target]
+                for arg in site.args:
+                    if arg.kind != "const":
+                        continue
+                    target_param = _map_param(callee.params, arg.pos,
+                                              arg.kw, resolution.bound)
+                    if target_param in callee_sinks:
+                        short = resolution.target.split(":", 1)[1]
+                        violations.append(Violation(
+                            module.path, site.line, site.col, self.id,
+                            self.name,
+                            f"constant seed {arg.value} flows into "
+                            f"random.Random via parameter "
+                            f"'{target_param}' of {short}; every shard "
+                            f"gets the same stream — thread the bound "
+                            f"shard seed through instead",
+                        ))
+        return violations
+
+
+class MergeReachabilityRule(GraphRule):
+    """RS203: worker-built mergeables must be merged somewhere."""
+
+    id = "RS203"
+    name = "merge-reachability"
+    closure_cacheable = False  # "is it ever merged" is a global property
+
+    def check_project(self, project: "ProjectIndex",
+                      config: Config) -> List[Violation]:
+        reachable, _ = project.worker_reachable()
+        constructed = project.constructed()
+        built: Dict[str, int] = {}  # class key -> first construction line
+        built_in: Dict[str, str] = {}
+        for key in sorted(reachable):
+            for class_key, site in constructed.get(key, []):
+                if class_key not in built:
+                    built[class_key] = site.line
+                    built_in[class_key] = key
+        merged = self._merged_methods(project)
+        violations: List[Violation] = []
+        for class_key in sorted(built):
+            module, cls = project.classes[class_key]
+            if not cls.merge_methods:
+                continue
+            if config.is_test_path(module.path):
+                continue
+            if any(m in merged.get(class_key, set())
+                   for m in cls.merge_methods):
+                continue
+            builder = built_in[class_key].split(":", 1)[1]
+            violations.append(Violation(
+                module.path, cls.line, 0, self.id, self.name,
+                f"{cls.name} is constructed in worker context "
+                f"(in {builder}) but no caller ever invokes "
+                f"{'/'.join(cls.merge_methods)}; shard results will be "
+                f"dropped instead of merged — call its merge method on "
+                f"the parent's merge path",
+            ))
+        return sorted(violations)
+
+    def _merged_methods(self, project: "ProjectIndex"
+                        ) -> Dict[str, Set[str]]:
+        """class key -> merge-method names the project actually calls.
+
+        Resolution is conservative: a call that resolves to the method
+        counts, and so does any *unresolved* attribute call with a
+        matching merge-method name (we cannot prove it is not this
+        class's merge).
+        """
+        merge_names: Set[str] = set()
+        for _, cls in project.classes.values():
+            merge_names.update(cls.merge_methods)
+        merged: Dict[str, Set[str]] = {}
+        unresolved_names: Set[str] = set()
+        edges = project.edges()
+        for caller in sorted(project.functions):
+            module, fn = project.functions[caller]
+            resolved_lines = {(res.target, site.line)
+                              for res, site in edges.get(caller, [])}
+            for res, _ in edges.get(caller, []):
+                target_module, _, qual = res.target.partition(":")
+                if "." in qual:
+                    class_name, method = qual.rsplit(".", 1)
+                    if method in merge_names:
+                        merged.setdefault(
+                            f"{target_module}:{class_name}",
+                            set()).add(method)
+            for site in fn.calls:
+                method = site.method
+                if method in merge_names and not any(
+                        line == site.line and target.endswith(f".{method}")
+                        for target, line in resolved_lines):
+                    unresolved_names.add(method)
+        if unresolved_names:
+            for class_key in sorted(project.classes):
+                _, cls = project.classes[class_key]
+                for name in cls.merge_methods:
+                    if name in unresolved_names:
+                        merged.setdefault(class_key, set()).add(name)
+        return merged
+
+
+class ObsEscapeRule(GraphRule):
+    """RS204: no returning or module-aliasing the obs ACTIVE slot."""
+
+    id = "RS204"
+    name = "obs-escape"
+    closure_cacheable = True  # purely local to each module
+
+    def check_project(self, project: "ProjectIndex",
+                      config: Config) -> List[Violation]:
+        violations: List[Violation] = []
+        for path in sorted(project.modules):
+            violations.extend(self.check_module(
+                project, project.modules[path], config))
+        return sorted(violations)
+
+    def check_module(self, project: "ProjectIndex",
+                     module: "ModuleIndex",
+                     config: Config) -> List[Violation]:
+        if project.is_obs_path(module.path) \
+                or config.is_test_path(module.path):
+            return []
+        violations: List[Violation] = []
+        for name, line in module.obs_slot_aliases:
+            violations.append(Violation(
+                module.path, line, 0, self.id, self.name,
+                f"module-level alias '{name}' captures the obs ACTIVE "
+                f"slot at import time; it goes stale when the slot is "
+                f"re-activated and bypasses RS003 guard tracking — read "
+                f"the slot inside the function that uses it",
+            ))
+        for qualname in sorted(module.functions):
+            fn = module.functions[qualname]
+            if fn.returns_obs_active is not None:
+                violations.append(Violation(
+                    module.path, fn.returns_obs_active, 0, self.id,
+                    self.name,
+                    f"{qualname} returns the raw obs ACTIVE slot; "
+                    f"callers receive an unguarded alias that escapes "
+                    f"RS003's local None-guard — have callers take the "
+                    f"slot themselves and guard it locally",
+                ))
+        for class_name in sorted(module.classes):
+            cls = module.classes[class_name]
+            for method_name in sorted(cls.methods):
+                fn = cls.methods[method_name]
+                if fn.returns_obs_active is not None:
+                    violations.append(Violation(
+                        module.path, fn.returns_obs_active, 0, self.id,
+                        self.name,
+                        f"{fn.qualname} returns the raw obs ACTIVE "
+                        f"slot; callers receive an unguarded alias that "
+                        f"escapes RS003's local None-guard — have "
+                        f"callers take the slot themselves and guard it "
+                        f"locally",
+                    ))
+        return sorted(violations)
+
+
+register(WorkerDeterminismRule())
+register(MergeReachabilityRule())
+register(ObsEscapeRule())

@@ -510,6 +510,26 @@ class TestSuppressions:
         # RS005 fires and is suppressed; the RS001 half is unused.
         assert ids_of(got) == [UNUSED_ID]
 
+    def test_line_beats_file_suppression_for_same_rule(self):
+        # Precedence is line-first: with both forms present for one
+        # rule, the line suppression absorbs the violation and the
+        # file-level one is reported unused — the narrower form wins,
+        # so a stale blanket waiver cannot hide behind a precise one.
+        src = ("# repro-lint: disable-file=RS001\n"
+               "import random\n"
+               "x = random.random()  # repro-lint: disable=RS001\n")
+        got = lint(src, rule_ids=["RS001"])
+        assert ids_of(got) == [UNUSED_ID]
+        assert got[0].line == 1  # the file-level comment is the unused one
+
+    def test_file_suppression_covers_lines_without_their_own(self):
+        # The blanket form is not unused when any line actually needs it.
+        src = ("# repro-lint: disable-file=RS001\n"
+               "import random\n"
+               "x = random.random()\n"
+               "y = random.random()  # repro-lint: disable=RS001\n")
+        assert lint(src, rule_ids=["RS001"]) == []
+
 
 # ---------------------------------------------------------------------------
 # syntax errors
@@ -586,7 +606,8 @@ class TestConfig:
 
     def test_rule_catalogue(self):
         assert all_rule_ids() == ["RS001", "RS002", "RS003", "RS004",
-                                  "RS005", "RS100"]
+                                  "RS005", "RS100", "RS201", "RS202",
+                                  "RS203", "RS204"]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,516 @@
+"""Whole-program (--graph) linter tests: RS201-RS204, cache, reporters.
+
+Each test builds a small fixture package under ``tmp_path`` and runs
+:func:`repro.staticcheck.graph.lint_paths_graph` over it.  The fixtures
+import the *real* engine introspection surface (``worker_entrypoint``,
+``ShardSpec``, ``repro.obs``) by dotted name only — the analyzer never
+imports fixture code, so nothing here executes.
+
+pytest's ``tmp_path`` contains the test name (``.../test_rs201.../``)
+which matches the default ``/test_`` test-path fragment and would relax
+every rule; fixtures therefore always pass an explicit :class:`Config`
+with ``test_paths=()``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.staticcheck import lint_source
+from repro.staticcheck.config import Config
+from repro.staticcheck.core import all_rule_ids
+from repro.staticcheck.graph import (GraphRunResult, file_sha256,
+                                     lint_paths_graph, module_name_for)
+from repro.staticcheck.reporters import render, render_sarif
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+GRAPH_IDS = ("RS201", "RS202", "RS203", "RS204")
+
+
+def _config(**kwargs: object) -> Config:
+    kwargs.setdefault("test_paths", ())
+    kwargs.setdefault("determinism_allow", ())
+    return Config(**kwargs)  # type: ignore[arg-type]
+
+
+def write_pkg(root: Path, files: Dict[str, str]) -> Path:
+    pkg = root / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    for name, source in files.items():
+        (pkg / name).write_text(source, encoding="utf-8")
+    return pkg
+
+
+def run_graph(pkg: Path, config: Config, **kwargs: object
+              ) -> GraphRunResult:
+    return lint_paths_graph([pkg], config=config, **kwargs)  # type: ignore[arg-type]
+
+
+def rule_ids(result: GraphRunResult) -> Tuple[str, ...]:
+    return tuple(v.rule_id for v in result.violations)
+
+
+# ---------------------------------------------------------------------------
+# RS201: worker-reachability determinism.
+
+
+AMBIENT_WORKERS = """\
+from repro.engine.pool import worker_entrypoint
+
+from .helpers import stamp
+
+
+@worker_entrypoint
+def shard_entry(index: int) -> float:
+    return middle(index)
+
+
+def middle(index: int) -> float:
+    return inner()
+
+
+def inner() -> float:
+    return stamp()
+"""
+
+AMBIENT_HELPERS = """\
+import time
+
+
+def stamp() -> float:
+    return time.time()
+"""
+
+
+class TestRS201Ambient:
+    def test_clock_reachable_through_three_frames_fires(
+            self, tmp_path: Path) -> None:
+        pkg = write_pkg(tmp_path, {"workers.py": AMBIENT_WORKERS,
+                                   "helpers.py": AMBIENT_HELPERS})
+        # helpers.py carries a determinism-allow waiver, so per-file
+        # RS001 is silent there — only the graph pass can see that the
+        # clock read runs inside a worker.
+        config = _config(determinism_allow=("pkg/helpers.py",))
+        result = run_graph(pkg, config)
+        assert rule_ids(result) == ("RS201",)
+        violation = result.violations[0]
+        assert violation.path.endswith("helpers.py")
+        assert "time.time" in violation.message
+        # The chain names every frame back to the entrypoint.
+        for frame in ("stamp", "inner", "middle", "shard_entry"):
+            assert frame in violation.message
+
+    def test_unreachable_clock_does_not_fire(self, tmp_path: Path) -> None:
+        # Same helper, but no worker entrypoint ever reaches it.
+        workers = AMBIENT_WORKERS.replace("return inner()", "return 0.0")
+        pkg = write_pkg(tmp_path, {"workers.py": workers,
+                                   "helpers.py": AMBIENT_HELPERS})
+        config = _config(determinism_allow=("pkg/helpers.py",))
+        result = run_graph(pkg, config)
+        assert rule_ids(result) == ()
+
+    def test_waived_file_outside_worker_context_stays_quiet(
+            self, tmp_path: Path) -> None:
+        # A waived clock read with no entrypoints at all: per-file RS001
+        # is waived and RS201 has nothing reachable.
+        pkg = write_pkg(tmp_path, {"helpers.py": AMBIENT_HELPERS})
+        config = _config(determinism_allow=("pkg/helpers.py",))
+        result = run_graph(pkg, config)
+        assert rule_ids(result) == ()
+
+
+SEED_WORKERS = """\
+from repro.engine.pool import worker_entrypoint
+
+from .helpers import make_rng
+
+
+@worker_entrypoint
+def shard_entry(index: int) -> float:
+    rng = make_rng(42)
+    return rng.random()
+"""
+
+SEED_HELPERS = """\
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+"""
+
+
+class TestRS201ConstantSeed:
+    def test_constant_seed_through_helper_fires(self,
+                                                tmp_path: Path) -> None:
+        pkg = write_pkg(tmp_path, {"workers.py": SEED_WORKERS,
+                                   "helpers.py": SEED_HELPERS})
+        result = run_graph(pkg, _config())
+        assert rule_ids(result) == ("RS201",)
+        message = result.violations[0].message
+        assert "constant seed 42" in message
+        assert "'seed'" in message and "make_rng" in message
+
+    def test_threaded_seed_does_not_fire(self, tmp_path: Path) -> None:
+        workers = SEED_WORKERS.replace("make_rng(42)", "make_rng(index)")
+        pkg = write_pkg(tmp_path, {"workers.py": workers,
+                                   "helpers.py": SEED_HELPERS})
+        result = run_graph(pkg, _config())
+        assert rule_ids(result) == ()
+
+
+# ---------------------------------------------------------------------------
+# RS202: pickle safety at declared boundaries.
+
+
+SPEC_BAD = """\
+from repro.engine.sharding import ShardSpec
+
+
+def bad_spec() -> ShardSpec:
+    return ShardSpec.create("allnames", fn=lambda: 1)
+"""
+
+SPEC_GOOD = """\
+from repro.engine.sharding import ShardSpec
+
+
+def _one() -> int:
+    return 1
+
+
+def good_spec() -> ShardSpec:
+    return ShardSpec.create("allnames", fn=_one)
+"""
+
+
+class TestRS202PickleSafety:
+    def test_lambda_into_shardspec_create_fires(self,
+                                                tmp_path: Path) -> None:
+        pkg = write_pkg(tmp_path, {"specs.py": SPEC_BAD})
+        result = run_graph(pkg, _config())
+        assert rule_ids(result) == ("RS202",)
+        message = result.violations[0].message
+        assert "lambda" in message
+        assert "ShardSpec.create" in message
+
+    def test_module_level_callable_does_not_fire(self,
+                                                 tmp_path: Path) -> None:
+        pkg = write_pkg(tmp_path, {"specs.py": SPEC_GOOD})
+        result = run_graph(pkg, _config())
+        assert rule_ids(result) == ()
+
+    def test_unpicklable_bind_fires(self, tmp_path: Path) -> None:
+        source = (
+            "import threading\n"
+            "from repro.engine.sharding import ShardSpec\n"
+            "\n"
+            "\n"
+            "def locked_spec() -> ShardSpec:\n"
+            "    lock = threading.Lock()\n"
+            "    return ShardSpec.create('allnames', fn=lock)\n")
+        pkg = write_pkg(tmp_path, {"specs.py": source})
+        result = run_graph(pkg, _config())
+        assert rule_ids(result) == ("RS202",)
+
+
+# ---------------------------------------------------------------------------
+# RS203: cross-module merge algebra.
+
+
+PARTIAL_DEF = """\
+class Partial:
+    def __init__(self) -> None:
+        self.count = 0
+
+    def merge_from(self, other: "Partial") -> None:
+        self.count += other.count
+"""
+
+PARTIAL_BUILD = """\
+from repro.engine.pool import worker_entrypoint
+
+from .model import Partial
+
+
+@worker_entrypoint
+def build(index: int) -> Partial:
+    return Partial()
+"""
+
+PARTIAL_JOIN = """\
+from .model import Partial
+
+
+def join(parts: list) -> Partial:
+    total = Partial()
+    for part in parts:
+        total.merge_from(part)
+    return total
+"""
+
+
+class TestRS203MergeAlgebra:
+    def test_never_merged_partial_fires(self, tmp_path: Path) -> None:
+        pkg = write_pkg(tmp_path, {"model.py": PARTIAL_DEF,
+                                   "build.py": PARTIAL_BUILD})
+        result = run_graph(pkg, _config())
+        assert rule_ids(result) == ("RS203",)
+        message = result.violations[0].message
+        assert "Partial" in message and "merge_from" in message
+
+    def test_merged_in_another_module_does_not_fire(
+            self, tmp_path: Path) -> None:
+        pkg = write_pkg(tmp_path, {"model.py": PARTIAL_DEF,
+                                   "build.py": PARTIAL_BUILD,
+                                   "join.py": PARTIAL_JOIN})
+        result = run_graph(pkg, _config())
+        assert rule_ids(result) == ()
+
+
+# ---------------------------------------------------------------------------
+# RS204: obs ACTIVE escape.
+
+
+ESCAPE = """\
+from repro.obs import metrics as _obs_metrics
+
+SLOT = _obs_metrics.ACTIVE
+
+
+def leak():
+    return _obs_metrics.ACTIVE
+"""
+
+GUARDED = """\
+from repro.obs import metrics as _obs_metrics
+
+
+def tally(name: str) -> None:
+    slot = _obs_metrics.ACTIVE
+    if slot is not None:
+        slot.incr(name)
+"""
+
+
+class TestRS204ObsEscape:
+    def test_alias_and_return_fire(self, tmp_path: Path) -> None:
+        pkg = write_pkg(tmp_path, {"escape.py": ESCAPE})
+        result = run_graph(pkg, _config())
+        assert rule_ids(result) == ("RS204", "RS204")
+        messages = [v.message for v in result.violations]
+        assert any("module-level alias 'SLOT'" in m for m in messages)
+        assert any("leak returns the raw obs ACTIVE" in m
+                   for m in messages)
+
+    def test_local_guarded_read_does_not_fire(self,
+                                              tmp_path: Path) -> None:
+        pkg = write_pkg(tmp_path, {"guarded.py": GUARDED})
+        result = run_graph(pkg, _config())
+        assert rule_ids(result) == ()
+
+
+# ---------------------------------------------------------------------------
+# Suppressions under --graph.
+
+
+class TestGraphSuppressions:
+    def test_inline_suppression_silences_graph_finding(
+            self, tmp_path: Path) -> None:
+        helpers = AMBIENT_HELPERS.replace(
+            "    return time.time()",
+            "    return time.time()  # repro-lint: disable=RS201")
+        pkg = write_pkg(tmp_path, {"workers.py": AMBIENT_WORKERS,
+                                   "helpers.py": helpers})
+        config = _config(determinism_allow=("pkg/helpers.py",))
+        result = run_graph(pkg, config)
+        assert rule_ids(result) == ()
+
+    def test_unused_graph_suppression_is_rs000_under_graph(
+            self, tmp_path: Path) -> None:
+        source = "x = 1  # repro-lint: disable=RS201\n"
+        pkg = write_pkg(tmp_path, {"clean.py": source})
+        result = run_graph(pkg, _config())
+        assert rule_ids(result) == ("RS000",)
+
+    def test_unused_graph_suppression_silent_in_plain_lint(self) -> None:
+        # Plain per-file runs never execute RS2xx, so holding a
+        # suppression for one is not "unused" there.
+        out = lint_source("x = 1  # repro-lint: disable=RS201\n", "a.py",
+                          config=_config())
+        assert out == []
+
+
+# ---------------------------------------------------------------------------
+# Incremental cache + determinism of the report.
+
+
+def _full_fixture(tmp_path: Path) -> Tuple[Path, Config]:
+    pkg = write_pkg(tmp_path, {
+        "workers.py": AMBIENT_WORKERS,
+        "helpers.py": AMBIENT_HELPERS,
+        "specs.py": SPEC_BAD,
+        "model.py": PARTIAL_DEF,
+        "build.py": PARTIAL_BUILD,
+        "escape.py": ESCAPE,
+    })
+    return pkg, _config(determinism_allow=("pkg/helpers.py",))
+
+
+class TestIncrementalCache:
+    def test_cold_then_warm_hit_counters_and_identical_report(
+            self, tmp_path: Path) -> None:
+        pkg, config = _full_fixture(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = run_graph(pkg, config, cache_path=cache)
+        assert cold.stats.hits == 0
+        assert cold.stats.misses == cold.stats.files > 0
+        assert not cold.stats.graph_reused
+        assert cold.stats.closure_misses == cold.stats.files
+
+        warm = run_graph(pkg, config, cache_path=cache)
+        assert warm.stats.hits == warm.stats.files == cold.stats.files
+        assert warm.stats.misses == 0
+        assert warm.stats.graph_reused
+        assert warm.stats.closure_hits == warm.stats.files
+        assert warm.stats.closure_misses == 0
+
+        for fmt in ("text", "json", "sarif"):
+            assert render(cold.violations, cold.files_checked, fmt) \
+                == render(warm.violations, warm.files_checked, fmt)
+
+    def test_single_file_edit_reparses_only_that_file(
+            self, tmp_path: Path) -> None:
+        pkg, config = _full_fixture(tmp_path)
+        cache = tmp_path / "cache.json"
+        run_graph(pkg, config, cache_path=cache)
+        # Touch one module without changing any import edges.
+        escape = pkg / "escape.py"
+        escape.write_text(ESCAPE + "\n# trailing comment\n",
+                          encoding="utf-8")
+        result = run_graph(pkg, config, cache_path=cache)
+        assert result.stats.misses == 1
+        assert result.stats.hits == result.stats.files - 1
+        # The whole-program digest changed, but closure-cacheable rules
+        # re-run only where the import closure changed.
+        assert not result.stats.graph_reused
+        assert result.stats.closure_misses >= 1
+        assert result.stats.closure_hits \
+            == result.stats.files - result.stats.closure_misses
+
+    def test_report_is_byte_identical_across_worker_counts(
+            self, tmp_path: Path) -> None:
+        pkg, config = _full_fixture(tmp_path)
+        solo = run_graph(pkg, config, workers=1)
+        fleet = run_graph(pkg, config, workers=4)
+        assert solo.stats.files == fleet.stats.files
+        for fmt in ("text", "json", "sarif"):
+            assert render(solo.violations, solo.files_checked, fmt) \
+                == render(fleet.violations, fleet.files_checked, fmt)
+
+    def test_config_change_invalidates_cache(self,
+                                             tmp_path: Path) -> None:
+        pkg, config = _full_fixture(tmp_path)
+        cache = tmp_path / "cache.json"
+        run_graph(pkg, config, cache_path=cache)
+        reconfigured = _config(determinism_allow=())
+        again = run_graph(pkg, reconfigured, cache_path=cache)
+        assert again.stats.hits == 0
+        assert again.stats.misses == again.stats.files
+
+
+# ---------------------------------------------------------------------------
+# Report-path restriction (the --changed machinery).
+
+
+class TestReportPaths:
+    def test_report_paths_restrict_output_but_not_the_graph(
+            self, tmp_path: Path) -> None:
+        pkg, config = _full_fixture(tmp_path)
+        helpers = str(pkg / "helpers.py")
+        result = run_graph(pkg, config, report_paths={helpers})
+        # The RS201 finding lives in helpers.py but only exists because
+        # workers.py (outside report_paths) was still indexed.
+        assert result.files_checked == 1
+        assert "RS201" in rule_ids(result)
+        assert all(v.path == helpers for v in result.violations)
+
+    def test_widening_reports_reverse_importers(self,
+                                                tmp_path: Path) -> None:
+        pkg, config = _full_fixture(tmp_path)
+        helpers = str(pkg / "helpers.py")
+        result = run_graph(pkg, config, report_paths={helpers},
+                           widen_to_importers=True)
+        # workers.py imports helpers.py, so the widened report covers it.
+        assert result.files_checked >= 2
+
+
+# ---------------------------------------------------------------------------
+# SARIF reporter.
+
+
+class TestSarif:
+    def test_sarif_shape_and_rules_metadata(self, tmp_path: Path) -> None:
+        pkg, config = _full_fixture(tmp_path)
+        result = run_graph(pkg, config)
+        document = json.loads(
+            render_sarif(result.violations, result.files_checked))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-staticcheck"
+        catalog = {rule["id"] for rule in driver["rules"]}
+        assert set(GRAPH_IDS) <= catalog
+        assert {"RS000", "RS999"} <= catalog
+        assert len(run["results"]) == len(result.violations)
+        for entry in run["results"]:
+            assert entry["ruleId"] in catalog
+            location = entry["locations"][0]["physicalLocation"]
+            region = location["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+
+    def test_sarif_rule_index_points_at_its_rule(self) -> None:
+        document = json.loads(render_sarif([], 0))
+        rules = document["runs"][0]["tool"]["driver"]["rules"]
+        assert [rule["id"] for rule in rules] \
+            == sorted(rule["id"] for rule in rules)
+
+
+# ---------------------------------------------------------------------------
+# Self-application: the repo's own sources must pass their own linter.
+
+
+class TestSelfLint:
+    def test_src_repro_is_graph_clean(self) -> None:
+        result = lint_paths_graph([SRC])
+        assert result.violations == [], render(
+            result.violations, result.files_checked, "text")
+        assert result.project is not None
+        # The engine's declared seeds reach a non-trivial worker slice.
+        assert len(result.project.worker_seeds()) > 10
+
+    def test_rule_universe_includes_graph_family(self) -> None:
+        assert set(GRAPH_IDS) <= set(all_rule_ids())
+
+
+# ---------------------------------------------------------------------------
+# Small unit seams.
+
+
+class TestUnits:
+    def test_file_sha256_is_stable(self) -> None:
+        assert file_sha256("x = 1\n") == file_sha256("x = 1\n")
+        assert file_sha256("x = 1\n") != file_sha256("x = 2\n")
+
+    def test_module_name_walks_packages(self, tmp_path: Path) -> None:
+        pkg = write_pkg(tmp_path, {"mod.py": "x = 1\n"})
+        assert module_name_for(pkg / "mod.py") == "pkg.mod"
+        assert module_name_for(pkg / "__init__.py") == "pkg"

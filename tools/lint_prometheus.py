@@ -20,17 +20,17 @@ from typing import List
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.staticcheck.rules.prom import (check_prom_text,  # noqa: E402
-                                          lint_prom_file)
+from repro.staticcheck.rules.prom import lint_prom_summary  # noqa: E402
 
 
 def lint(path: Path) -> bool:
-    violations = lint_prom_file(path)
+    violations, counts = lint_prom_summary(path)
     if violations:
         for violation in violations:
             print(f"FAIL {path}: {violation.message}")
         return False
-    families, samples = check_prom_text(path.read_text())
+    assert counts is not None  # no violations means a successful parse
+    families, samples = counts
     print(f"ok   {path}: {families} metric families, "
           f"{samples} samples")
     return True

@@ -6,7 +6,8 @@ Usage::
     python tools/run_mypy.py [--strict-only]
 
 Profile 1 (strict): ``repro.obs``, ``repro.engine``,
-``repro.staticcheck`` and ``repro.datasets.columnar`` — the
+``repro.staticcheck``, ``repro.datasets.columnar`` and
+``repro.faults`` — the
 invariant-bearing modules, checked with the strict flag set from
 ``[[tool.mypy.overrides]]`` in pyproject.toml.
 
@@ -27,7 +28,7 @@ import sys
 #: Packages/modules under the strict profile (keep in sync with
 #: pyproject.toml).
 STRICT_PACKAGES = ("repro.obs", "repro.engine", "repro.staticcheck",
-                   "repro.datasets.columnar")
+                   "repro.datasets.columnar", "repro.faults")
 
 
 def have_mypy() -> bool:
