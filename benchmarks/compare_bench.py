@@ -31,8 +31,14 @@ bound that still catches the ship-everything-through-pickle failure mode
 clear ``columnar_replay_rps / object_replay_rps >=
 --min-columnar-speedup`` (default 3.0) and ``columnar_bytes_per_row /
 jsonl_bytes_per_row <= --max-bytes-ratio`` (default 0.5) — the
-acceptance bars the columnar substrate shipped under.  Unlike the
-parallel gate this one is not CPU-gated: both pipelines are
+acceptance bars the columnar substrate shipped under.  Samples that
+also carry the out-of-core fields are held to two more bars:
+``rowgroup_replay_rps / columnar_replay_rps >= --min-rowgroup-ratio``
+(default 0.9 — group streaming may cost at most 10% throughput) and
+``rowgroup_peak_bytes_per_row / columnar_resident_bytes_per_row <=
+--max-rowgroup-peak-fraction`` (default 0.5 — the bounded-memory bar:
+streaming a trace must need well under the whole-column footprint).
+Unlike the parallel gate this one is not CPU-gated: the pipelines are
 single-threaded, so a slow host slows them together.
 
 ``--check-obs-overhead`` gates the live-telemetry samples
@@ -170,18 +176,24 @@ def check_speedup(doc: Dict, min_speedup: float = MIN_SPEEDUP,
 #: Default columnar-substrate requirements (see ``check_columnar``).
 MIN_COLUMNAR_SPEEDUP = 3.0
 MAX_BYTES_RATIO = 0.5
+MIN_ROWGROUP_RATIO = 0.9
+MAX_ROWGROUP_PEAK_FRACTION = 0.5
 
 
 def check_columnar(doc: Dict, min_speedup: float = MIN_COLUMNAR_SPEEDUP,
-                   max_bytes_ratio: float = MAX_BYTES_RATIO
+                   max_bytes_ratio: float = MAX_BYTES_RATIO,
+                   min_rowgroup_ratio: float = MIN_ROWGROUP_RATIO,
+                   max_rowgroup_peak_fraction: float =
+                   MAX_ROWGROUP_PEAK_FRACTION
                    ) -> Tuple[List[str], List[str]]:
     """Gate every columnar sample in a ``BENCH_datasets.json`` document.
 
     Returns ``(report_lines, failures)``.  A sample participates when it
     records both ``object_replay_rps`` and ``columnar_replay_rps``; the
     bytes-per-row bound additionally needs both ``*_bytes_per_row``
-    fields.  Samples missing the fields are skipped, not failed, so the
-    file can host unrelated dataset metrics.
+    fields, the out-of-core bounds need ``rowgroup_replay_rps`` and
+    ``rowgroup_peak_bytes_per_row``.  Samples missing the fields are
+    skipped, not failed, so the file can host unrelated dataset metrics.
     """
     lines: List[str] = []
     failures: List[str] = []
@@ -208,6 +220,30 @@ def check_columnar(doc: Dict, min_speedup: float = MIN_COLUMNAR_SPEEDUP,
             entry = (f"{bench}: columnar/jsonl bytes per row = {ratio:.3f} "
                      f"(required <= {max_bytes_ratio:.2f})")
             if ratio > max_bytes_ratio:
+                failures.append(entry)
+                lines.append(f"  FAIL     {entry}")
+            else:
+                lines.append(f"  ok       {entry}")
+        rowgroup_rps = metrics.get("rowgroup_replay_rps")
+        if isinstance(columnar_rps, (int, float)) and columnar_rps > 0 \
+                and isinstance(rowgroup_rps, (int, float)):
+            ratio = float(rowgroup_rps) / float(columnar_rps)
+            entry = (f"{bench}: rowgroup/columnar replay = {ratio:.2f}x "
+                     f"(required >= {min_rowgroup_ratio:.2f}x)")
+            if ratio < min_rowgroup_ratio:
+                failures.append(entry)
+                lines.append(f"  FAIL     {entry}")
+            else:
+                lines.append(f"  ok       {entry}")
+        resident_bpr = metrics.get("columnar_resident_bytes_per_row")
+        peak_bpr = metrics.get("rowgroup_peak_bytes_per_row")
+        if isinstance(resident_bpr, (int, float)) and resident_bpr > 0 \
+                and isinstance(peak_bpr, (int, float)):
+            fraction = float(peak_bpr) / float(resident_bpr)
+            entry = (f"{bench}: rowgroup peak/resident bytes per row = "
+                     f"{fraction:.3f} (required <= "
+                     f"{max_rowgroup_peak_fraction:.2f})")
+            if fraction > max_rowgroup_peak_fraction:
                 failures.append(entry)
                 lines.append(f"  FAIL     {entry}")
             else:
@@ -284,6 +320,14 @@ def main(argv: List[str] = None) -> int:
                         default=MAX_BYTES_RATIO,
                         help=f"max columnar/jsonl bytes-per-row ratio "
                         f"(default {MAX_BYTES_RATIO})")
+    parser.add_argument("--min-rowgroup-ratio", type=float,
+                        default=MIN_ROWGROUP_RATIO,
+                        help=f"required rowgroup/columnar replay "
+                        f"throughput ratio (default {MIN_ROWGROUP_RATIO})")
+    parser.add_argument("--max-rowgroup-peak-fraction", type=float,
+                        default=MAX_ROWGROUP_PEAK_FRACTION,
+                        help=f"max streaming-peak/resident bytes-per-row "
+                        f"fraction (default {MAX_ROWGROUP_PEAK_FRACTION})")
     parser.add_argument("--check-obs-overhead", action="store_true",
                         help="also gate live_on_rps/live_off_rps pairs "
                         "in the candidate (or sole) file")
@@ -337,10 +381,14 @@ def main(argv: List[str] = None) -> int:
         candidate = json.loads(Path(candidate_path).read_text())
         lines, failures = check_columnar(candidate,
                                          args.min_columnar_speedup,
-                                         args.max_bytes_ratio)
+                                         args.max_bytes_ratio,
+                                         args.min_rowgroup_ratio,
+                                         args.max_rowgroup_peak_fraction)
         print(f"columnar gate on {candidate_path} "
               f"(replay >= {args.min_columnar_speedup:.2f}x, "
-              f"bytes/row <= {args.max_bytes_ratio:.2f}x)")
+              f"bytes/row <= {args.max_bytes_ratio:.2f}x, "
+              f"rowgroup >= {args.min_rowgroup_ratio:.2f}x, "
+              f"peak fraction <= {args.max_rowgroup_peak_fraction:.2f})")
         for line in lines:
             print(line)
         if failures:

@@ -2,11 +2,13 @@
 
 Regenerates the four datasets and prints the paper-vs-measured summary
 counts (scaled by the generators' scale factors).  The columnar
-benchmarks time the two replay pipelines over the same trace — JSONL
-parse → record objects → ``replay_partial_batched`` versus mmap'd
-columns → ``replay_partial_columns`` — assert identical results, and
-record throughput plus on-disk/resident bytes per row into
-``BENCH_datasets.json`` (gated by ``compare_bench.py --check-columnar``).
+benchmarks time three replay pipelines over the same trace — JSONL
+parse → record objects → ``replay_partial_batched``, mmap'd columns →
+``replay_partial_columns``, and the out-of-core v2 row-group stream →
+``replay_partial_column_groups`` — assert identical results, and record
+throughput, on-disk/resident bytes per row, and the streaming replay's
+peak heap per row into ``BENCH_datasets.json`` (gated by
+``compare_bench.py --check-columnar``).
 """
 
 from __future__ import annotations
@@ -18,10 +20,16 @@ import tracemalloc
 from repro.analysis import (summarize_allnames, summarize_cdn,
                             summarize_public_cdn, summarize_scan)
 from repro.analysis.cache_sim import (replay_partial_batched,
+                                      replay_partial_column_groups,
                                       replay_partial_columns)
 from repro.datasets import AllNamesBuilder, CdnDatasetBuilder
-from repro.datasets.columnar import ColumnarStore, write_columnar
+from repro.datasets.columnar import (ColumnarStore, RowGroupReader,
+                                     write_columnar, write_columnar_stream)
 from repro.datasets.records import read_jsonl, write_jsonl
+
+#: Group budget of the out-of-core samples: small enough that several
+#: groups exist at bench scale, large enough to amortize per-group setup.
+ROW_GROUP_ROWS = 32_768
 
 
 def test_bench_cdn_dataset_generation(benchmark, save_report):
@@ -103,8 +111,31 @@ def _bench_columnar_case(datasets_bench, name, records, client_field,
 
     assert columnar_partial == object_partial
 
+    # Out-of-core pipeline: stream v2 row groups, one resident at a
+    # time.  Timed without tracemalloc (it hooks every allocation and
+    # would bias the rps against the untraced columnar sample), then a
+    # second pass measures the peak heap the streaming replay needs.
+    v2_path = tmp_path / f"{name}.v2.col"
+    write_columnar_stream(records, v2_path, name, ROW_GROUP_ROWS)
+
+    def _replay_groups():
+        with RowGroupReader(v2_path) as reader:
+            return replay_partial_column_groups(
+                (reader.group(i) for i in range(reader.group_count)),
+                client_field)
+
+    start = time.perf_counter()
+    rowgroup_partial = _replay_groups()
+    rowgroup_seconds = time.perf_counter() - start
+    assert rowgroup_partial == object_partial
+    tracemalloc.start()
+    assert _replay_groups() == object_partial
+    rowgroup_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+
     object_rps = rows / object_seconds if object_seconds else 0.0
     columnar_rps = rows / columnar_seconds if columnar_seconds else 0.0
+    rowgroup_rps = rows / rowgroup_seconds if rowgroup_seconds else 0.0
     speedup = columnar_rps / object_rps if object_rps else 0.0
     jsonl_bpr = jsonl_path.stat().st_size / rows
     columnar_bpr = col_path.stat().st_size / rows
@@ -120,6 +151,11 @@ def _bench_columnar_case(datasets_bench, name, records, client_field,
             _resident_object_bytes(jsonl_path, record_type) / rows, 1),
         "columnar_resident_bytes_per_row": round(resident_columnar / rows,
                                                  1),
+        "rowgroup_replay_rps": round(rowgroup_rps, 1),
+        "rowgroup_ratio": round(rowgroup_rps / columnar_rps
+                                if columnar_rps else 0.0, 3),
+        "row_group_rows": ROW_GROUP_ROWS,
+        "rowgroup_peak_bytes_per_row": round(rowgroup_peak / rows, 1),
         "cpu_count": os.cpu_count() or 1,
     }
     # The acceptance bars this PR ships under: ≥3x replay throughput,
@@ -127,6 +163,11 @@ def _bench_columnar_case(datasets_bench, name, records, client_field,
     # fails here even before the compare_bench gate sees the JSON.
     assert speedup >= 3.0, datasets_bench[name]
     assert columnar_bpr / jsonl_bpr <= 0.5, datasets_bench[name]
+    # Out-of-core bars: group streaming costs <= 10% replay throughput
+    # and its peak heap stays group-sized, far under the full columns.
+    assert rowgroup_rps >= 0.9 * columnar_rps, datasets_bench[name]
+    assert rowgroup_peak / rows <= 0.5 * resident_columnar / rows, \
+        datasets_bench[name]
 
 
 def test_bench_columnar_replay_allnames(allnames_dataset, datasets_bench,

@@ -245,6 +245,111 @@ def replay_partial_columns(store: "ColumnarStore", client_field: str,
                          max_ecs, max_plain)
 
 
+def replay_partial_column_groups(stores: Iterable["ColumnarStore"],
+                                 client_field: str,
+                                 scope_field: str = "scope",
+                                 ttl_field: str = "ttl",
+                                 ttl_override: Optional[float] = None
+                                 ) -> ReplayPartial:
+    """Out-of-core twin of :func:`replay_partial_columns`.
+
+    Replays a sequence of row-group stores (one bucket's groups of a
+    pre-bucketed v2 file, in file order) through *one* pair of caches,
+    so the counters equal a single :func:`replay_partial_columns` pass
+    over the concatenated rows.  The subtlety is that v2 dictionary
+    codes are group-local: the same qname can carry different codes in
+    different groups.  Codes therefore re-map through a run-global
+    interning table (first-appearance order, one dict lookup per
+    dictionary *entry* per group), which restores the bijection the
+    code-keyed cache keys rely on.  Client addresses parse once per
+    distinct string across the whole run — the ECS key uses the parsed
+    ``(version, value)`` directly, so no client-side remap is needed.
+
+    Memory is bounded by one group's columns plus the caches (sized by
+    the unique-key universe, not the row count); callers close each
+    store as soon as the next one is requested.
+    """
+    ecs_expiry: Dict[tuple, float] = {}
+    plain_expiry: Dict[tuple, float] = {}
+    ecs_heap: List[Tuple[float, tuple]] = []
+    plain_heap: List[Tuple[float, tuple]] = []
+    heappush, heappop = heapq.heappush, heapq.heappop
+    hits_ecs = misses_ecs = hits_no_ecs = misses_no_ecs = 0
+    max_ecs = max_plain = 0
+    #: qname string -> run-global code (first appearance across groups).
+    qname_global: Dict[str, int] = {}
+    #: client string -> index into ``parsed`` (parse once per distinct).
+    parsed_index: Dict[str, int] = {}
+    parsed: List[Tuple[int, int, Sequence[int]]] = []
+
+    for store in stores:
+        ts_col = store.column("ts")
+        qname_col = store.column("qname")
+        qtype_col = store.column("qtype")
+        client_col = store.column(client_field)
+        scope_col = store.column(scope_field)
+        ttl_col = store.column(ttl_field)
+        # Per-group remap tables: group-local code -> run-global handle.
+        qmap = [qname_global.setdefault(value, len(qname_global))
+                for value in store.dictionary("qname")]
+        cmap = []
+        for address in store.dictionary(client_field):
+            index = parsed_index.get(address)
+            if index is None:
+                index = len(parsed)
+                parsed_index[address] = index
+                version, value = parse_addr(address)
+                parsed.append((version, value,
+                               _MASKS_BY_VERSION[version]))
+            cmap.append(index)
+
+        for row in range(store.rows):
+            now = ts_col[row]
+            qcode = qmap[qname_col[row]]
+            qtype = qtype_col[row]
+            scope = scope_col[row]
+            ttl = ttl_col[row] if ttl_override is None else ttl_override
+
+            while ecs_heap and ecs_heap[0][0] <= now:
+                expiry, key = heappop(ecs_heap)
+                current = ecs_expiry.get(key)
+                if current is not None and current <= now:
+                    del ecs_expiry[key]
+            if scope == 0:
+                key = (qcode, qtype)
+            else:
+                version, value, masks = parsed[cmap[client_col[row]]]
+                key = (qcode, qtype, version, scope, value & masks[scope])
+            expiry_now = ecs_expiry.get(key)
+            if expiry_now is not None and expiry_now > now:
+                hits_ecs += 1
+            else:
+                misses_ecs += 1
+                ecs_expiry[key] = now + ttl
+                heappush(ecs_heap, (now + ttl, key))
+                if len(ecs_expiry) > max_ecs:
+                    max_ecs = len(ecs_expiry)
+
+            while plain_heap and plain_heap[0][0] <= now:
+                expiry, key = heappop(plain_heap)
+                current = plain_expiry.get(key)
+                if current is not None and current <= now:
+                    del plain_expiry[key]
+            key = (qcode, qtype)
+            expiry_now = plain_expiry.get(key)
+            if expiry_now is not None and expiry_now > now:
+                hits_no_ecs += 1
+            else:
+                misses_no_ecs += 1
+                plain_expiry[key] = now + ttl
+                heappush(plain_heap, (now + ttl, key))
+                if len(plain_expiry) > max_plain:
+                    max_plain = len(plain_expiry)
+
+    return ReplayPartial(hits_ecs, misses_ecs, hits_no_ecs, misses_no_ecs,
+                         max_ecs, max_plain)
+
+
 def merge_partials(partials: Iterable[ReplayPartial]) -> ReplayResult:
     """Fold shard partials into one ReplayResult (order-independent)."""
     merged = ReplayPartial()

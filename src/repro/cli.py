@@ -52,8 +52,9 @@ from .analysis.mapping_quality import (MappingQualityLab,
                                        measure_mapping_quality)
 from .analysis.unroutable import UnroutableLab
 from .datasets import CdnDatasetBuilder, ScanUniverseBuilder
-from .datasets.columnar import (SCHEMAS, columnar_to_jsonl, file_info,
-                                is_columnar, jsonl_to_columnar)
+from .datasets.columnar import (SCHEMAS, columnar_to_jsonl,
+                                convert_columnar, file_info, is_columnar,
+                                jsonl_to_columnar)
 from .datasets.ditl import generate_root_trace
 from .engine import (DEFAULT_SHARDS, POOL_MODES, ShardSpec, WorkerPool,
                      generate_dataset_spec, generate_jsonl)
@@ -274,8 +275,11 @@ def cmd_generate(args: argparse.Namespace, reporter: _Reporter) -> None:
         from .engine import generate_columnar
         count, engine_report = generate_columnar(
             spec, args.file, workers=args.workers,
-            chunk_size=args.chunk_size)
+            chunk_size=args.chunk_size,
+            row_group_rows=args.row_group_rows)
     else:
+        if args.row_group_rows is not None:
+            raise SystemExit("--row-group-rows requires --format columnar")
         count, engine_report = generate_jsonl(
             spec, args.file, workers=args.workers,
             chunk_size=args.chunk_size)
@@ -284,20 +288,45 @@ def cmd_generate(args: argparse.Namespace, reporter: _Reporter) -> None:
 
 
 def cmd_convert(args: argparse.Namespace, reporter: _Reporter) -> None:
-    """Convert a trace between JSONL and the columnar format.
+    """Convert a trace between JSONL and the columnar layouts.
 
     The direction is auto-detected from the source file's magic unless
-    ``--to`` forces it; both directions stream record by record, so
-    conversion memory stays flat.  JSONL -> columnar -> JSONL
-    round-trips byte-identically.
+    ``--to`` forces it; every direction streams with bounded memory.
+    JSONL -> columnar -> JSONL round-trips byte-identically, and so
+    does columnar v1 -> v2 -> v1.  ``--row-group-rows`` selects the v2
+    row-group layout for any columnar output (default: v1 for
+    JSONL sources, re-layout target for columnar sources);
+    ``--to columnar`` on a columnar source re-layouts between v1 and
+    v2.  ``--bucket-shards N`` pre-buckets a columnar output by qname
+    for out-of-core row-range replay with ``--shards N``.
     """
     target = args.to
     if target == "auto":
         target = "jsonl" if is_columnar(args.src) else "columnar"
-    if target == "columnar":
-        count = jsonl_to_columnar(args.src, args.dst, args.dataset)
-    else:
+    if target == "jsonl":
+        if args.row_group_rows is not None or args.bucket_shards is not None:
+            raise SystemExit("--row-group-rows/--bucket-shards apply to "
+                             "columnar output only")
         count = columnar_to_jsonl(args.src, args.dst)
+    elif is_columnar(args.src):
+        count = convert_columnar(args.src, args.dst,
+                                 row_group_rows=args.row_group_rows,
+                                 bucket_shards=args.bucket_shards)
+    else:
+        count = jsonl_to_columnar(args.src, args.dst, args.dataset,
+                                  row_group_rows=args.row_group_rows)
+        if args.bucket_shards is not None:
+            # Bucket in place: the flat columnar file becomes the
+            # pre-bucketed layout via a sibling temp rewrite.
+            staging = Path(args.dst).with_name(Path(args.dst).name
+                                               + ".bucketing")
+            Path(args.dst).rename(staging)
+            try:
+                convert_columnar(staging, args.dst,
+                                 row_group_rows=args.row_group_rows,
+                                 bucket_shards=args.bucket_shards)
+            finally:
+                staging.unlink()
     reporter.note(f"converted {count} {args.dataset} records: "
                   f"{args.src} -> {args.dst} ({target})")
 
@@ -333,6 +362,11 @@ def cmd_dataset(args: argparse.Namespace, reporter: _Reporter) -> None:
                 ("bytes/row", round(info["bytes_per_row"], 2)),
                 ("header bytes",
                  _quantity(info["header_bytes"], human_bytes))]
+        if "row_groups" in info:
+            rows.append(("row groups", info["row_groups"]))
+            rows.append(("row-group rows", info["row_group_rows"]))
+            rows.append(("qname buckets", info["buckets"]
+                         if info["buckets"] is not None else "-"))
         reporter.emit("dataset_info", format_table(
             ("property", "value"), rows,
             title=f"Columnar trace {path}"))
@@ -526,6 +560,13 @@ def build_parser() -> argparse.ArgumentParser:
                           default="jsonl",
                           help="output trace format (columnar: packed "
                                "columns, mmap-able, ~2.5x smaller)")
+    generate.add_argument("--row-group-rows", type=positive_int,
+                          default=None,
+                          help="with --format columnar: keep the final "
+                               "file in the v2 row-group layout with "
+                               "this many rows per group (default: v1 "
+                               "single-block layout); generation itself "
+                               "always streams with bounded memory")
     add_engine_flags(generate)
 
     replay_cmd = sub.add_parser("replay",
@@ -545,7 +586,18 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--to", choices=("auto", "columnar", "jsonl"),
                          default="auto",
                          help="target format (auto: the opposite of "
-                              "what src is)")
+                              "what src is; 'columnar' on a columnar "
+                              "src re-layouts between v1 and v2)")
+    convert.add_argument("--row-group-rows", type=positive_int,
+                         default=None,
+                         help="columnar output: write the v2 row-group "
+                              "layout with this many rows per group "
+                              "(default: v1 single block)")
+    convert.add_argument("--bucket-shards", type=positive_int,
+                         default=None,
+                         help="columnar output: pre-bucket rows by "
+                              "qname for out-of-core row-range replay "
+                              "with --shards N")
 
     dataset_cmd = sub.add_parser(
         "dataset", help="inspect an on-disk dataset file")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..engine.seeding import derive_seed, world_seed
 from ..engine.sharding import shard_bounds
@@ -170,15 +170,21 @@ class AllNamesBuilder:
         """The unit universe sharded over: individual queries."""
         return self.total_queries
 
-    def build_shard(self, shard_index: int,
-                    shard_count: int) -> List[AllNamesRecord]:
-        """Generate the queries of one shard (a contiguous time window).
+    #: The query clock only moves forward, so :meth:`iter_shard` yields
+    #: in global ts order and streaming writers need no sort pass.
+    ITER_SHARD_SORTED = True
 
-        Shard ``i`` of ``n`` emits the queries with global indices in
-        ``shard_bounds(total_queries, n)[i]``, starting its clock at the
-        window boundary; its random stream is seeded by
-        ``derive_seed(seed, i)`` so output depends only on the shard
-        decomposition, never on the worker that ran it.
+    def iter_shard(self, shard_index: int,
+                   shard_count: int) -> Iterator[AllNamesRecord]:
+        """Generate one shard's queries as a stream (ts-ascending).
+
+        The generator path of :meth:`build_shard`: same records in the
+        same order, but one at a time, so out-of-core writers never hold
+        a shard's record list.  Shard ``i`` of ``n`` emits the queries
+        with global indices in ``shard_bounds(total_queries, n)[i]``,
+        starting its clock at the window boundary; its random stream is
+        seeded by ``derive_seed(seed, i)`` so output depends only on the
+        shard decomposition, never on the worker that ran it.
         """
         hostnames, policies, clients = self._world()
         all_clients = clients.all_clients
@@ -190,7 +196,6 @@ class AllNamesBuilder:
                                         self._SEED_NS))
         step = self.duration_s / self.total_queries
         t = lo * step
-        records: List[AllNamesRecord] = []
         for _ in range(lo, hi):
             t += rng.expovariate(1.0) * step
             hostname = hostnames[name_sampler.sample(rng)]
@@ -202,9 +207,17 @@ class AllNamesBuilder:
             else:
                 qtype = 1
                 scope = policy.scope
-            records.append(AllNamesRecord(t, client, hostname, qtype,
-                                          scope, policy.ttl))
-        return records
+            yield AllNamesRecord(t, client, hostname, qtype, scope,
+                                 policy.ttl)
+
+    def build_shard(self, shard_index: int,
+                    shard_count: int) -> List[AllNamesRecord]:
+        """Generate the queries of one shard (a contiguous time window).
+
+        The materialized form of :meth:`iter_shard` — one definition of
+        the record stream, two consumption modes.
+        """
+        return list(self.iter_shard(shard_index, shard_count))
 
     def assemble(self,
                  shard_records: Sequence[List[AllNamesRecord]]

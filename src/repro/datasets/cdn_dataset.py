@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..engine.seeding import derive_seed, world_seed
 from ..engine.sharding import shard_bounds
@@ -278,18 +278,28 @@ class CdnDatasetBuilder:
         """The unit universe sharded over: resolvers."""
         return len(self._world_specs())
 
-    def build_shard(self, shard_index: int,
-                    shard_count: int) -> List[CdnQueryRecord]:
-        """Emit the streams of one contiguous slice of the population."""
+    def iter_shard(self, shard_index: int,
+                   shard_count: int) -> Iterator[CdnQueryRecord]:
+        """Stream one resolver slice's queries, in emission order.
+
+        Resolver-major (each resolver's records are internally sorted,
+        resolvers overlap in time), so out-of-core writers pair this
+        with an external sort.  Consumes the shard's random stream in
+        exactly the :meth:`build_shard` order.
+        """
         specs = self._world_specs()
         hostnames = self._hostnames()
         zipf = ZipfSampler(len(hostnames), alpha=1.0)
         lo, hi = shard_bounds(len(specs), shard_count)[shard_index]
         rng = random.Random(derive_seed(self.seed, shard_index,
                                         self._SEED_NS))
-        records: List[CdnQueryRecord] = []
         for spec in specs[lo:hi]:
-            records.extend(self._emit(spec, hostnames, zipf, rng))
+            yield from self._emit(spec, hostnames, zipf, rng)
+
+    def build_shard(self, shard_index: int,
+                    shard_count: int) -> List[CdnQueryRecord]:
+        """Emit the streams of one contiguous slice of the population."""
+        records = list(self.iter_shard(shard_index, shard_count))
         records.sort(key=lambda r: r.ts)
         return records
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Iterator, List, Sequence
 
 from ..engine.seeding import derive_seed
 from ..engine.sharding import shard_bounds
@@ -103,13 +103,17 @@ class RootTraceBuilder:
         """The unit universe sharded over: resolvers."""
         return self.resolver_count
 
-    def build_shard(self, shard_index: int,
-                    shard_count: int) -> List[RootQueryRecord]:
-        """Emit the streams of one contiguous resolver-index range."""
+    def iter_shard(self, shard_index: int,
+                   shard_count: int) -> Iterator[RootQueryRecord]:
+        """Stream one resolver range's queries, in emission order.
+
+        Resolver-major (not globally ts-sorted); pairs with an external
+        sort in out-of-core writers.  Consumes the shard's random
+        stream in exactly the :meth:`build_shard` order.
+        """
         lo, hi = shard_bounds(self.resolver_count, shard_count)[shard_index]
         rng = random.Random(derive_seed(self.seed, shard_index,
                                         self._SEED_NS))
-        records: List[RootQueryRecord] = []
         for i in range(lo, hi):
             ip = self._resolver_ip(i)
             is_violator = i < self.violators
@@ -121,10 +125,15 @@ class RootTraceBuilder:
                 qtype = rng.choice((2, 1, 28))
                 has_ecs = is_violator and rng.random() < 0.8
                 sent_ecs = sent_ecs or has_ecs
-                records.append(RootQueryRecord(ts, ip, qname, qtype, has_ecs))
+                yield RootQueryRecord(ts, ip, qname, qtype, has_ecs)
             if is_violator and not sent_ecs:
-                records.append(RootQueryRecord(rng.uniform(0, self.duration_s),
-                                               ip, "com.", 1, True))
+                yield RootQueryRecord(rng.uniform(0, self.duration_s),
+                                      ip, "com.", 1, True)
+
+    def build_shard(self, shard_index: int,
+                    shard_count: int) -> List[RootQueryRecord]:
+        """Emit the streams of one contiguous resolver-index range."""
+        records = list(self.iter_shard(shard_index, shard_count))
         records.sort(key=lambda r: r.ts)
         return records
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 from ..engine.seeding import derive_seed
 from ..engine.sharding import shard_bounds
@@ -70,10 +70,10 @@ class PublicCdnBuilder:
     def _resolver_ip(r: int) -> str:
         return f"8.{(r >> 8) & 0xFF}.{r & 0xFF}.53"
 
-    def _emit_resolver(self, r: int, hostnames: Sequence[str],
-                       zipf: ZipfSampler, rng: random.Random,
-                       records: List[PublicCdnRecord]) -> None:
-        """Append one egress resolver's query stream to ``records``."""
+    def _iter_resolver(self, r: int, hostnames: Sequence[str],
+                       zipf: ZipfSampler, rng: random.Random
+                       ) -> Iterator[PublicCdnRecord]:
+        """One egress resolver's query stream, in its own arrival order."""
         ip = self._resolver_ip(r)
         # Log-uniform volume: busy front-line resolvers vs near-idle ones.
         spread = self.volume_spread_decades
@@ -87,8 +87,14 @@ class PublicCdnBuilder:
         for ts in poisson_arrivals(qps, self.duration_s, rng):
             subnet = rng.choice(subnets)
             hostname = hostnames[zipf.sample(rng)]
-            records.append(PublicCdnRecord(
-                ts, ip, hostname, 1, subnet, 24, 24, self.ttl))
+            yield PublicCdnRecord(ts, ip, hostname, 1, subnet, 24, 24,
+                                  self.ttl)
+
+    def _emit_resolver(self, r: int, hostnames: Sequence[str],
+                       zipf: ZipfSampler, rng: random.Random,
+                       records: List[PublicCdnRecord]) -> None:
+        """Append one egress resolver's query stream to ``records``."""
+        records.extend(self._iter_resolver(r, hostnames, zipf, rng))
 
     def build(self) -> PublicCdnDataset:
         rng = random.Random(self.seed)
@@ -112,18 +118,29 @@ class PublicCdnBuilder:
         """The unit universe sharded over: egress resolvers."""
         return self.resolver_count()
 
-    def build_shard(self, shard_index: int,
-                    shard_count: int) -> List[PublicCdnRecord]:
-        """Emit the query streams of one contiguous resolver range."""
+    def iter_shard(self, shard_index: int,
+                   shard_count: int) -> Iterator[PublicCdnRecord]:
+        """Stream one resolver range's queries, in emission order.
+
+        Resolver-major, *not* globally ts-sorted (each resolver's
+        arrivals are time-ordered but resolvers overlap): out-of-core
+        writers pair this with an external sort.  The random stream is
+        consumed in exactly the :meth:`build_shard` order, so both paths
+        generate identical records.
+        """
         hostnames = [f"a{i:04d}.cdn.example."
                      for i in range(self.hostname_count)]
         zipf = ZipfSampler(len(hostnames), self.zipf_alpha)
         lo, hi = shard_bounds(self.resolver_count(), shard_count)[shard_index]
         rng = random.Random(derive_seed(self.seed, shard_index,
                                         self._SEED_NS))
-        records: List[PublicCdnRecord] = []
         for r in range(lo, hi):
-            self._emit_resolver(r, hostnames, zipf, rng, records)
+            yield from self._iter_resolver(r, hostnames, zipf, rng)
+
+    def build_shard(self, shard_index: int,
+                    shard_count: int) -> List[PublicCdnRecord]:
+        """Emit the query streams of one contiguous resolver range."""
+        records = list(self.iter_shard(shard_index, shard_count))
         records.sort(key=lambda rec: rec.ts)
         return records
 

@@ -38,7 +38,10 @@ import time
 from pathlib import Path
 from typing import Any, List, Optional, Protocol, Sequence, Tuple, Union
 
-from ..datasets.columnar import merge_columnar_shards, write_columnar
+from ..datasets.columnar import (DEFAULT_ROW_GROUP_ROWS,
+                                 merge_columnar_shards,
+                                 write_columnar_sorted,
+                                 write_columnar_stream)
 from ..datasets.records import merge_jsonl_shards, shard_path, write_jsonl
 from ..obs import live as _obs_live
 from ..obs import metrics as _obs_metrics
@@ -70,14 +73,19 @@ class ShardableBuilder(Protocol):
         ...
 
 
-def _count_generated(builder: ShardableBuilder,
-                     records: List[Any]) -> List[Any]:
-    """Record the per-shard generation counter (shared by both paths)."""
+def _count_generated_rows(builder: ShardableBuilder, count: int) -> None:
+    """Record the per-shard generation counter (all dispatch paths)."""
     reg = _obs_metrics.ACTIVE
     if reg is not None:
         reg.counter("repro_generate_records_total",
                     "Records produced by sharded generation, per builder.",
-                    ("builder",)).inc(len(records), type(builder).__name__)
+                    ("builder",)).inc(count, type(builder).__name__)
+
+
+def _count_generated(builder: ShardableBuilder,
+                     records: List[Any]) -> List[Any]:
+    """List-returning convenience over :func:`_count_generated_rows`."""
+    _count_generated_rows(builder, len(records))
     return records
 
 
@@ -113,15 +121,42 @@ def _write_shard_from_spec(spec: ShardSpec, out_base: str,
 
 @worker_entrypoint
 def _write_columnar_shard_from_spec(spec: ShardSpec, out_base: str,
-                                    schema: str, shard_index: int) -> int:
-    """Worker entry point: build one shard, write its columnar sibling.
+                                    schema: str,
+                                    row_group_rows: Optional[int],
+                                    shard_index: int) -> int:
+    """Worker entry point: stream one shard into a columnar sibling.
 
     The columnar twin of :func:`_write_shard_from_spec`: only the count
     crosses the pool boundary; the packed segments wait on disk for the
-    parent's merge.
+    parent's merge.  Shard files are always the v2 row-group layout so
+    worker memory stays bounded by one row group: a builder whose
+    ``iter_shard`` emits in global ts order streams straight into
+    :func:`~repro.datasets.columnar.write_columnar_stream`; other
+    builders stream through the external sort
+    (:func:`~repro.datasets.columnar.write_columnar_sorted`), whose
+    output is exactly the stable sort ``build_shard`` performs.
+    Builders without a generator path fall back to the materialized
+    ``build_shard`` list.
     """
-    records = _build_shard_from_spec(spec, shard_index)
-    return write_columnar(records, shard_path(out_base, shard_index), schema)
+    builder = spec.make_builder()
+    path = shard_path(out_base, shard_index)
+    rows_per_group = (DEFAULT_ROW_GROUP_ROWS if row_group_rows is None
+                      else row_group_rows)
+    iter_shard = getattr(builder, "iter_shard", None)
+    if iter_shard is None:
+        count = write_columnar_stream(
+            builder.build_shard(shard_index, spec.shard_count), path,
+            schema, rows_per_group)
+    elif getattr(builder, "ITER_SHARD_SORTED", False):
+        count = write_columnar_stream(
+            iter_shard(shard_index, spec.shard_count), path, schema,
+            rows_per_group)
+    else:
+        count = write_columnar_sorted(
+            iter_shard(shard_index, spec.shard_count), path, schema,
+            rows_per_group)
+    _count_generated_rows(builder, count)
+    return count
 
 
 def generate_records(builder: ShardableBuilder,
@@ -229,21 +264,27 @@ def generate_jsonl(spec: ShardSpec, out_path: Union[str, Path],
 def generate_columnar(spec: ShardSpec, out_path: Union[str, Path],
                       schema: Optional[str] = None, workers: int = 1,
                       chunk_size: Optional[int] = None,
-                      pool: Optional[WorkerPool] = None
+                      pool: Optional[WorkerPool] = None,
+                      row_group_rows: Optional[int] = None
                       ) -> Tuple[int, EngineReport]:
     """Generate ``spec`` straight to a columnar trace at ``out_path``.
 
-    The columnar twin of :func:`generate_jsonl`: each worker writes its
-    shard as a packed ``<file>.shardNN`` columnar sibling, and the
-    parent merges the shard *segments* — a stable k-way merge on
-    ``(ts, shard index, row index)`` with dictionary re-interning
+    The columnar twin of :func:`generate_jsonl`: each worker *streams*
+    its shard into a packed ``<file>.shardNN`` row-group sibling (peak
+    worker memory is one row group, not one shard), and the parent
+    merges the shard *segments* — a group-granular stable k-way merge
+    on ``(ts, shard index, row index)``
     (:func:`repro.datasets.columnar.merge_columnar_shards`) — into one
     file holding the same canonical record order as the JSONL route.
     ``schema`` defaults to the spec's builder name; pass it explicitly
     for builders registered outside :data:`SCHEMAS` whose records use
-    one of the standard schemas.  The merged file is byte-identical for
-    any (workers, chunk size, pool mode).  Returns ``(record count,
-    engine report)``.
+    one of the standard schemas.  ``row_group_rows=None`` (the default)
+    writes the final file in the v1 single-block layout — byte-identical
+    to what this function has always produced; a value keeps the final
+    file in the v2 row-group layout with that group budget, making the
+    whole generate→merge path out-of-core.  Either way the output is
+    byte-identical for any (workers, chunk size, pool mode).  Returns
+    ``(record count, engine report)``.
     """
     out = Path(out_path)
     out.parent.mkdir(parents=True, exist_ok=True)
@@ -252,11 +293,12 @@ def generate_columnar(spec: ShardSpec, out_path: Union[str, Path],
     counts, report = run_sharded(
         _write_columnar_shard_from_spec, shard_args, workers=workers,
         task=f"generate:{spec.builder}", chunk_size=chunk_size,
-        shared=(spec, str(out), schema_name), pool=pool,
+        shared=(spec, str(out), schema_name, row_group_rows), pool=pool,
         count_of=lambda count: int(count))
     paths = [shard_path(out, i) for i in range(spec.shard_count)]
     merge_start = time.perf_counter()
-    total = merge_columnar_shards(paths, out)
+    total = merge_columnar_shards(paths, out,
+                                  row_group_rows=row_group_rows)
     emitter = _obs_live.ACTIVE
     if emitter is not None:
         emitter.event("merge", task=f"generate:{spec.builder}",

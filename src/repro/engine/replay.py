@@ -31,9 +31,11 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
 from ..analysis.cache_sim import (ReplayPartial, ReplayResult,
                                   merge_partials, replay_partial,
                                   replay_partial_batched,
+                                  replay_partial_column_groups,
                                   replay_partial_columns)
 from ..core.cache import ScopeTracker
-from ..datasets.columnar import ColumnarStore
+from ..datasets.columnar import (ColumnarStore, RowGroupReader,
+                                 bucketed_group_ranges, record_row_groups)
 from ..datasets.records import AllNamesRecord, PublicCdnRecord
 from ..obs import live as _obs_live
 from ..obs import metrics as _obs_metrics
@@ -347,6 +349,67 @@ def _replay_columnar_shard(path: str, kind: str, shards: int,
     return partial
 
 
+@functools.lru_cache(maxsize=4)
+def _row_group_reader_cached(path: str, size: int,
+                             mtime_ns: int) -> RowGroupReader:
+    """One row-group reader per (path, stat identity), per process.
+
+    The bounded-memory twin of :func:`_columnar_store_cached`: the
+    reader holds only the mapping and the header, and every worker maps
+    the *same* file, so the OS shares its pages.  Group stores are
+    issued (and closed) per replay task.
+    """
+    return RowGroupReader(path)
+
+
+def _row_group_reader(path: str) -> RowGroupReader:
+    stat = os.stat(path)
+    return _row_group_reader_cached(path, stat.st_size, stat.st_mtime_ns)
+
+
+@worker_entrypoint
+def _replay_columnar_range(path: str, kind: str, group_start: int,
+                           group_end: int) -> ReplayPartial:
+    """Worker entry point: replay one group range of a pre-bucketed file.
+
+    The out-of-core work unit: ``(group_start, group_end)`` plus the
+    shared ``(path, kind)`` header cross the pool boundary, and the
+    worker walks only its own groups' pages — one group's columns
+    resident at a time, via
+    :func:`repro.analysis.cache_sim.replay_partial_column_groups`,
+    which re-maps the group-local dictionary codes onto run-global
+    handles so counters are identical to a flat replay of the same
+    rows.  With a tracer active the range's rows materialize through
+    the span-emitting twin instead, like every other replay path.
+    """
+    reader = _row_group_reader(path)
+    tracer = _obs_trace.ACTIVE
+    if tracer is not None:
+        records: List[Any] = []
+        for index in range(group_start, group_end):
+            store = reader.group(index)
+            records.extend(store.iter_records())
+            store.close()
+        partial = _replay_shard_traced(tracer, records, kind)
+    else:
+        def group_stream() -> Any:
+            for index in range(group_start, group_end):
+                store = reader.group(index)
+                try:
+                    yield store
+                finally:
+                    store.close()
+
+        partial = replay_partial_column_groups(group_stream(),
+                                               CLIENT_FIELDS[kind])
+    record_row_groups("replayed", reader.schema.name,
+                      group_end - group_start)
+    reg = _obs_metrics.ACTIVE
+    if reg is not None:
+        _record_replay_metrics(reg, kind, partial)
+    return partial
+
+
 def replay_columnar_sharded(path: Union[str, Path], kind: str,
                             shards: int = DEFAULT_SHARDS, workers: int = 1,
                             chunk_size: Optional[int] = None,
@@ -361,9 +424,35 @@ def replay_columnar_sharded(path: Union[str, Path], kind: str,
     qname dictionary codes, and run the vectorized column replay.
     Counter-identical to ``replay_sharded(read_columnar(path), kind)``
     for any (workers, pool, chunk size) — the equivalence suite pins it.
+
+    A file pre-bucketed for exactly ``shards`` buckets (see
+    :func:`repro.datasets.columnar.prebucket_columnar`) takes the
+    out-of-core fast path instead: the parent reads only the tail
+    header, dispatches disjoint ``(group_start, group_end)`` row-group
+    ranges, and each worker streams its own groups with bounded memory.
+    Rows within a bucket keep their file order, so results are
+    counter-identical to the flat path over the same trace.
     """
     _check_kind_and_shards(kind, shards)
     resolved = str(Path(path).resolve())
+    ranges = bucketed_group_ranges(resolved)
+    if ranges is not None:
+        if len(ranges) != shards:
+            # A pre-bucketed file is *not* globally ts-ordered, so
+            # replaying it under any other partition would interleave
+            # buckets out of time order and silently skew every TTL
+            # decision.  Refuse rather than mis-replay.
+            raise ValueError(
+                f"{path} is pre-bucketed for {len(ranges)} shards; "
+                f"replay it with shards={len(ranges)} or re-bucket it "
+                f"for {shards} (repro-ecs convert --bucket-shards)")
+        range_args: List[Tuple[Any, ...]] = list(ranges)
+        partials, report = run_sharded(
+            _replay_columnar_range, range_args, workers=workers,
+            task=f"replay:{kind}",
+            count_of=lambda partial: partial.queries,
+            chunk_size=chunk_size, shared=(resolved, kind), pool=pool)
+        return merge_partials(partials), report
     shard_args = [(bucket,) for bucket in range(shards)]
     partials, report = run_sharded(
         _replay_columnar_shard, shard_args, workers=workers,

@@ -1,6 +1,6 @@
 """Columnar store: format round-trips, shard algebra, vectorized replay.
 
-The store's contract has three layers, each pinned here:
+The store's contract has four layers, each pinned here:
 
 * **Round-trip fidelity** — records → columns → records is the identity
   for every schema and every Optional/null shape (Hypothesis drives the
@@ -12,6 +12,13 @@ The store's contract has three layers, each pinned here:
 * **Replay equivalence** — :func:`replay_partial_columns` is
   counter-identical to the object-path reference for whole stores, row
   buckets, and TTL overrides.
+* **Row-group layout (v2)** — random group budgets (including 1 and
+  larger than the trace) round-trip value-identically with group-local
+  dictionaries remapped on read; v1 ↔ v2 conversion is lossless (and
+  v1 → v2 → v1 byte-identical); the group-granular merge is
+  byte-canonical against the per-row heapq reference on overlapping-ts
+  fixtures; mixed-version merges fail loudly; v1 files still open and
+  replay counter-identically through every v2-aware entry point.
 """
 
 from __future__ import annotations
@@ -24,14 +31,22 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.cache_sim import (replay_partial_batched,
+                                      replay_partial_column_groups,
                                       replay_partial_columns)
-from repro.datasets.columnar import (MAGIC, SCHEMAS, ColumnarStats,
+from repro.datasets.columnar import (MAGIC, MAGIC_V2, SCHEMAS, ColumnarStats,
                                      ColumnarStore, ColumnarWriter,
+                                     GroupedColumnarWriter, RowGroupReader,
+                                     bucketed_group_ranges,
                                      columnar_to_jsonl,
-                                     concat_columnar_shards, file_info,
+                                     concat_columnar_shards,
+                                     convert_columnar, file_info,
                                      is_columnar, jsonl_to_columnar,
-                                     merge_columnar_shards, read_columnar,
-                                     schema_for, write_columnar)
+                                     merge_columnar_shards,
+                                     merge_columnar_shards_rowwise,
+                                     prebucket_columnar, read_columnar,
+                                     schema_for, write_columnar,
+                                     write_columnar_sorted,
+                                     write_columnar_stream)
 from repro.datasets.records import (AllNamesRecord, CdnQueryRecord,
                                     PublicCdnRecord, write_jsonl)
 from repro.datasets.workload import merge_sorted_records
@@ -303,3 +318,215 @@ def test_replay_columns_ttl_override(ttl_override):
                                   ttl_override=ttl_override) \
         == replay_partial_batched(records, "ecs_address",
                                   ttl_override=ttl_override)
+
+
+# ---------------------------------------------------------------------------
+# Row-group layout (v2)
+
+
+@pytest.mark.parametrize("name", sorted(RECORD_STRATEGIES))
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_v2_roundtrip_property(name, data, tmp_path_factory):
+    """Any group budget — 1, many, or > rows — round-trips exactly.
+
+    Group-local dictionaries mean a string's code differs between
+    groups; equality through both the flattening ``ColumnarStore.open``
+    path and the streaming ``RowGroupReader`` path proves the remap.
+    """
+    records = data.draw(st.lists(RECORD_STRATEGIES[name], max_size=40))
+    records.sort(key=lambda r: r.ts)
+    budget = data.draw(st.integers(min_value=1, max_value=60))
+    path = tmp_path_factory.mktemp("v2prop") / "trace.col"
+    assert write_columnar_stream(records, path, name, budget) \
+        == len(records)
+    assert is_columnar(path)
+    assert path.read_bytes()[:8] == MAGIC_V2
+    with ColumnarStore.open(path) as flat:
+        assert flat.to_records() == records
+    with RowGroupReader(path) as reader:
+        assert reader.group_count == -(-len(records) // budget) \
+            if records else reader.group_count == 0
+        assert sum(reader.group_rows(i)
+                   for i in range(reader.group_count)) == len(records)
+        assert list(reader.iter_records()) == records
+        for i in range(reader.group_count):
+            assert reader.group_rows(i) <= budget
+
+
+def test_v2_group_dictionaries_are_group_local(tmp_path):
+    """Each group's dictionary holds only strings that group uses."""
+    records = _hand_records("allnames", 90, seed=7)
+    path = tmp_path / "g.col"
+    write_columnar_stream(records, path, "allnames", 20)
+    with RowGroupReader(path) as reader:
+        assert reader.group_count == 5
+        for i in range(reader.group_count):
+            store = reader.group(i)
+            lo = i * 20
+            chunk = records[lo:lo + 20]
+            assert store.to_records() == chunk
+            assert set(store.dictionary("qname")) \
+                == {r.qname for r in chunk}
+
+
+def test_convert_v1_to_v2_and_back_byte_identical(tmp_path):
+    records = _hand_records("cdn", 120, seed=5)
+    v1 = tmp_path / "v1.col"
+    write_columnar(records, v1, "cdn")
+    v2 = tmp_path / "v2.col"
+    assert convert_columnar(v1, v2, row_group_rows=32) == len(records)
+    assert v2.read_bytes()[:8] == MAGIC_V2
+    assert read_columnar(v2) == records
+    assert file_info(v2)["row_groups"] == 4
+    back = tmp_path / "back.col"
+    assert convert_columnar(v2, back) == len(records)
+    assert back.read_bytes() == v1.read_bytes()
+
+
+def test_write_columnar_sorted_equals_stable_sort(tmp_path):
+    """The external sort's spill-and-merge == one in-memory stable sort."""
+    rng = random.Random(2)
+    records = _hand_records("allnames", 150, seed=4)
+    # Unsorted input with heavy ts ties: stability is observable.
+    for r in records:
+        r.ts = float(rng.randrange(6))
+    rng.shuffle(records)
+    reference = sorted(records, key=lambda r: r.ts)
+    spilled = tmp_path / "spill.col"
+    assert write_columnar_sorted(iter(records), spilled, "allnames",
+                                 row_group_rows=16) == len(records)
+    assert read_columnar(spilled) == reference
+    assert not list(tmp_path.glob("*.run*")), "spill runs must be removed"
+    in_memory = tmp_path / "mem.col"
+    assert write_columnar_sorted(iter(records), in_memory, "allnames",
+                                 row_group_rows=4096) == len(records)
+    assert read_columnar(in_memory) == reference
+
+
+def _overlapping_shards(tmp_path, version: int, shards: int = 3):
+    """Pre-sorted shard files with forced cross-shard ts ties."""
+    rng = random.Random(11)
+    shard_lists = []
+    paths = []
+    for shard in range(shards):
+        records = _hand_records("allnames", 40, seed=shard)
+        for r in records[:10]:
+            r.ts = float(rng.randrange(5))
+        records.sort(key=lambda r: r.ts)
+        shard_lists.append(records)
+        path = tmp_path / f"s{shard}.v{version}.col"
+        if version == 1:
+            write_columnar(records, path, "allnames")
+        else:
+            write_columnar_stream(records, path, "allnames", 13)
+        paths.append(path)
+    return shard_lists, paths
+
+
+@pytest.mark.parametrize("version", (1, 2))
+def test_group_merge_byte_identical_to_rowwise(tmp_path, version):
+    """Group-granular merge == per-row heapq reference, byte for byte."""
+    shard_lists, paths = _overlapping_shards(tmp_path, version)
+    reference = merge_sorted_records(shard_lists)
+    grouped = tmp_path / "grouped.col"
+    rowwise = tmp_path / "rowwise.col"
+    assert merge_columnar_shards(paths, grouped) == len(reference)
+    assert merge_columnar_shards_rowwise(paths, rowwise) == len(reference)
+    assert read_columnar(grouped) == reference
+    assert grouped.read_bytes() == rowwise.read_bytes()
+
+
+def test_group_merge_v2_output_layout(tmp_path):
+    shard_lists, paths = _overlapping_shards(tmp_path, 2)
+    reference = merge_sorted_records(shard_lists)
+    out = tmp_path / "merged.col"
+    assert merge_columnar_shards(paths, out, row_group_rows=25) \
+        == len(reference)
+    assert out.read_bytes()[:8] == MAGIC_V2
+    assert read_columnar(out) == reference
+    with RowGroupReader(out) as reader:
+        assert all(reader.group_rows(i) <= 25
+                   for i in range(reader.group_count))
+
+
+def test_merge_rejects_mixed_format_versions(tmp_path):
+    records = _hand_records("allnames", 20)
+    v1 = tmp_path / "v1.col"
+    v2 = tmp_path / "v2.col"
+    write_columnar(records, v1, "allnames")
+    write_columnar_stream(records, v2, "allnames", 8)
+    with pytest.raises(ValueError, match="mixed columnar format versions"):
+        merge_columnar_shards([v1, v2], tmp_path / "out.col")
+
+
+def test_row_group_reader_wraps_v1(tmp_path):
+    """v1 files open through the v2 reader as a single group."""
+    records = _hand_records("public-cdn", 50)
+    path = tmp_path / "v1.col"
+    write_columnar(records, path, "public-cdn")
+    with RowGroupReader(path) as reader:
+        assert reader.format_version == 1
+        assert reader.group_count == 1
+        assert reader.group_rows(0) == len(records)
+        assert reader.bucket_ranges() is None
+        assert list(reader.iter_records()) == records
+        assert reader.group(0).to_records() == records
+
+
+def test_prebucket_groups_and_ranges(tmp_path):
+    from repro.engine.sharding import stable_bucket
+    records = _hand_records("allnames", 160, seed=6)
+    src = tmp_path / "flat.col"
+    write_columnar_stream(records, src, "allnames", 40)
+    dst = tmp_path / "bucketed.col"
+    shards = 4
+    assert prebucket_columnar(src, dst, shards,
+                              row_group_rows=30) == len(records)
+    ranges = bucketed_group_ranges(dst)
+    assert ranges is not None and len(ranges) == shards
+    assert bucketed_group_ranges(src) is None
+    seen = []
+    with RowGroupReader(dst) as reader:
+        assert reader.bucket_ranges() == ranges
+        for bucket, (lo, hi) in enumerate(ranges):
+            for g in range(lo, hi):
+                assert reader.group_bucket(g) == bucket
+                store = reader.group(g)
+                chunk = store.to_records()
+                assert all(stable_bucket(r.qname, shards) == bucket
+                           for r in chunk)
+                # Bucket-local streams stay ts-sorted for replay.
+                assert [r.ts for r in chunk] \
+                    == sorted(r.ts for r in chunk)
+                seen.extend(chunk)
+    assert sorted(seen, key=lambda r: (r.ts, r.client_ip, r.qname)) \
+        == sorted(records, key=lambda r: (r.ts, r.client_ip, r.qname))
+
+
+@settings(max_examples=20, deadline=None)
+@given(records=st.lists(RECORD_STRATEGIES["allnames"], max_size=60),
+       budget=st.integers(min_value=1, max_value=20))
+def test_replay_column_groups_equals_flat(records, budget):
+    """Group-streaming replay == whole-store replay, any group split."""
+    records.sort(key=lambda r: r.ts)
+    flat = ColumnarStore.from_records(records, "allnames")
+    groups = [ColumnarStore.from_records(records[lo:lo + budget],
+                                         "allnames")
+              for lo in range(0, len(records), budget)]
+    assert replay_partial_column_groups(groups, "client_ip") \
+        == replay_partial_columns(flat, "client_ip")
+
+
+@pytest.mark.parametrize("ttl_override", (None, 0, 40))
+def test_replay_column_groups_ttl_override(ttl_override, tmp_path):
+    records = _hand_records("public-cdn", 300, seed=9)
+    path = tmp_path / "pc.col"
+    write_columnar_stream(records, path, "public-cdn", 64)
+    with RowGroupReader(path) as reader:
+        groups = [reader.group(i) for i in range(reader.group_count)]
+        got = replay_partial_column_groups(groups, "ecs_address",
+                                           ttl_override=ttl_override)
+    flat = ColumnarStore.from_records(records, "public-cdn")
+    assert got == replay_partial_columns(flat, "ecs_address",
+                                         ttl_override=ttl_override)

@@ -186,3 +186,72 @@ def test_main_obs_overhead_mode(tmp_path):
     assert compare_bench.main([str(path), "--check-obs-overhead"]) == 1
     assert compare_bench.main([str(path), "--check-obs-overhead",
                                "--max-obs-overhead", "0.3"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# The columnar-substrate gate (--check-columnar), out-of-core bars included.
+
+
+def _datasets_doc(**overrides):
+    sample = {
+        "rows": 550_000,
+        "object_replay_rps": 100_000.0,
+        "columnar_replay_rps": 500_000.0,
+        "jsonl_bytes_per_row": 100.0,
+        "columnar_bytes_per_row": 30.0,
+        "columnar_resident_bytes_per_row": 32.0,
+        "rowgroup_replay_rps": 490_000.0,
+        "rowgroup_peak_bytes_per_row": 2.0,
+    }
+    sample.update(overrides)
+    return {"allnames": sample, "section4_note": "not-a-dict-is-skipped"}
+
+
+def test_columnar_gate_passes_healthy_sample():
+    lines, failures = compare_bench.check_columnar(_datasets_doc())
+    assert failures == []
+    assert len(lines) == 4        # speedup, bytes, rowgroup rps, peak
+
+
+def test_columnar_gate_fails_each_bar_independently():
+    _, failures = compare_bench.check_columnar(
+        _datasets_doc(columnar_replay_rps=200_000.0,
+                      rowgroup_replay_rps=190_000.0))  # 2x < 3x speedup
+    assert len(failures) == 1 and "columnar/object" in failures[0]
+    _, failures = compare_bench.check_columnar(
+        _datasets_doc(columnar_bytes_per_row=60.0))    # 0.6 > 0.5
+    assert len(failures) == 1 and "bytes per row" in failures[0]
+    _, failures = compare_bench.check_columnar(
+        _datasets_doc(rowgroup_replay_rps=400_000.0))  # 0.8x < 0.9x
+    assert len(failures) == 1 and "rowgroup/columnar" in failures[0]
+    _, failures = compare_bench.check_columnar(
+        _datasets_doc(rowgroup_peak_bytes_per_row=20.0))  # 0.625 > 0.5
+    assert len(failures) == 1 and "peak/resident" in failures[0]
+
+
+def test_columnar_gate_skips_samples_without_rowgroup_fields():
+    doc = _datasets_doc()
+    del doc["allnames"]["rowgroup_replay_rps"]
+    del doc["allnames"]["rowgroup_peak_bytes_per_row"]
+    lines, failures = compare_bench.check_columnar(doc)
+    assert failures == []
+    assert len(lines) == 2        # pre-row-group files still gate cleanly
+
+
+def test_columnar_gate_custom_bounds():
+    doc = _datasets_doc(rowgroup_replay_rps=400_000.0,
+                        rowgroup_peak_bytes_per_row=20.0)
+    _, failures = compare_bench.check_columnar(
+        doc, min_rowgroup_ratio=0.7, max_rowgroup_peak_fraction=0.7)
+    assert failures == []
+
+
+def test_main_columnar_mode(tmp_path):
+    path = tmp_path / "BENCH_datasets.json"
+    path.write_text(json.dumps(_datasets_doc()))
+    assert compare_bench.main([str(path), "--check-columnar"]) == 0
+    path.write_text(json.dumps(_datasets_doc(
+        rowgroup_replay_rps=400_000.0)))
+    assert compare_bench.main([str(path), "--check-columnar"]) == 1
+    assert compare_bench.main([str(path), "--check-columnar",
+                               "--min-rowgroup-ratio", "0.7"]) == 0

@@ -325,3 +325,70 @@ def test_run_sharded_payload_accounting():
     assert all(s.payload_bytes > 0 for s in pooled_report.shards)
     # The whole point: per-shard specs are tiny, not record-list-sized.
     assert pooled_report.payload_bytes_per_shard < 1024
+
+
+# ---------------------------------------------------------------------------
+# Row-group (v2) pipeline: flush cadence is execution detail too.
+
+
+@pytest.mark.parametrize("kind", REPLAY_CASES)
+@pytest.mark.parametrize("flush_rows", (37, 256))
+def test_row_group_generate_identical_bytes_across_matrix(kind, flush_rows,
+                                                          tmp_path):
+    """v2 generation is byte-identical across pools AND value-identical
+    to the v1 reference for every worker flush cadence.
+
+    ``row_group_rows`` bounds how many rows a worker buffers before
+    flushing a group; like ``--workers`` it must never leak into the
+    values, only into the layout.
+    """
+    from repro.datasets.columnar import RowGroupReader
+    spec = _spec(kind)
+    ref_out = tmp_path / "reference.col"
+    generate_columnar(spec, ref_out, workers=1)
+    reference_records = read_columnar(ref_out)
+    ref_bytes = None
+    for workers, mode, chunk in EXECUTION_MATRIX:
+        out = tmp_path / f"{kind}-w{workers}-{mode}-c{chunk}.col"
+        with WorkerPool(workers, mode=mode) as pool:
+            count, _ = generate_columnar(spec, out, workers=workers,
+                                         chunk_size=chunk, pool=pool,
+                                         row_group_rows=flush_rows)
+        assert count == len(reference_records)
+        if ref_bytes is None:
+            ref_bytes = out.read_bytes()
+            assert read_columnar(out) == reference_records
+            with RowGroupReader(out) as reader:
+                assert reader.format_version == 2
+                assert all(reader.group_rows(g) <= flush_rows
+                           for g in range(reader.group_count))
+        else:
+            assert out.read_bytes() == ref_bytes, (kind, flush_rows,
+                                                   workers, mode, chunk)
+
+
+@pytest.mark.parametrize("kind", REPLAY_CASES)
+@pytest.mark.parametrize("flush_rows", (64, 512))
+def test_row_range_replay_equivalent_across_matrix(kind, flush_rows,
+                                                   tmp_path):
+    """Pre-bucketed row-range replay == flat replay, any pool shape."""
+    from repro.datasets.columnar import bucketed_group_ranges, \
+        prebucket_columnar
+    spec = _spec(kind)
+    flat = tmp_path / f"{kind}.col"
+    generate_columnar(spec, flat, workers=1)
+    reference, ref_report = replay_columnar_sharded(flat, kind,
+                                                    shards=SHARDS,
+                                                    workers=1)
+    bucketed = tmp_path / f"{kind}.bucketed.col"
+    prebucket_columnar(flat, bucketed, SHARDS, row_group_rows=flush_rows)
+    assert bucketed_group_ranges(bucketed) is not None
+    for workers, mode, chunk in EXECUTION_MATRIX:
+        with WorkerPool(workers, mode=mode) as pool:
+            got, report = replay_columnar_sharded(bucketed, kind,
+                                                  shards=SHARDS,
+                                                  workers=workers,
+                                                  chunk_size=chunk,
+                                                  pool=pool)
+        assert got == reference, (kind, flush_rows, workers, mode, chunk)
+        assert report.total_records == ref_report.total_records
